@@ -1,0 +1,396 @@
+(* tcheck — command-line front end to the temporal-checker toolbox.
+
+   Subcommands:
+     parse      parse + typecheck a MiniC file
+     run        execute on the reference interpreter
+     compile    compile to the RISC ISA (prints assembly)
+     sim        execute on the cycle-level SoC
+     automaton  synthesize a property into an AR-automaton (IL text)
+     verify     simulation-based temporal verification (approach 1 or 2)
+     bmc        bounded model checking
+     absref     predicate-abstraction model checking
+     eee        run a case-study verification campaign *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Minic.C_parser.parse_result (read_file path) with
+  | Error msg ->
+    Printf.eprintf "%s: parse error: %s\n" path msg;
+    exit 1
+  | Ok program -> (
+    match Minic.Typecheck.check_result program with
+    | Error msg ->
+      Printf.eprintf "%s: type error: %s\n" path msg;
+      exit 1
+    | Ok info -> info)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+(* tiny pure-expression evaluator for --prop definitions *)
+let rec eval_pure lookup (e : Minic.Ast.expr) =
+  let module A = Minic.Ast in
+  let module V = Minic.Value in
+  match e.A.edesc with
+  | A.Int_lit v -> v
+  | A.Bool_lit b -> V.of_bool b
+  | A.Var x -> lookup x
+  | A.Unop (A.Neg, a) -> V.neg (eval_pure lookup a)
+  | A.Unop (A.Bitnot, a) -> V.lognot (eval_pure lookup a)
+  | A.Unop (A.Lognot, a) -> V.of_bool (not (V.to_bool (eval_pure lookup a)))
+  | A.Binop (op, a, b) -> (
+    let va = eval_pure lookup a in
+    match op with
+    | A.Land -> V.of_bool (V.to_bool va && V.to_bool (eval_pure lookup b))
+    | A.Lor -> V.of_bool (V.to_bool va || V.to_bool (eval_pure lookup b))
+    | _ -> (
+      let vb = eval_pure lookup b in
+      match op with
+      | A.Add -> V.add va vb
+      | A.Sub -> V.sub va vb
+      | A.Mul -> V.mul va vb
+      | A.Div -> V.div va vb
+      | A.Mod -> V.rem va vb
+      | A.Band -> V.logand va vb
+      | A.Bor -> V.logor va vb
+      | A.Bxor -> V.logxor va vb
+      | A.Shl -> V.shift_left va vb
+      | A.Shr -> V.shift_right va vb
+      | A.Lt -> V.of_bool (va < vb)
+      | A.Le -> V.of_bool (va <= vb)
+      | A.Gt -> V.of_bool (va > vb)
+      | A.Ge -> V.of_bool (va >= vb)
+      | A.Eq -> V.of_bool (va = vb)
+      | A.Ne -> V.of_bool (va <> vb)
+      | A.Land | A.Lor -> assert false))
+  | A.Index _ | A.Call _ | A.Nondet _ | A.Mem_read _ ->
+    failwith "propositions must be pure expressions over globals"
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_parse =
+  let action path =
+    let info = load path in
+    let prog = Minic.Typecheck.program info in
+    Printf.printf "%s: OK (%d globals, %d functions)\n" path
+      (List.length prog.Minic.Ast.globals)
+      (List.length prog.Minic.Ast.funcs);
+    0
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and typecheck a MiniC file")
+    Term.(const action $ file_arg)
+
+let cmd_run =
+  let action path fuel =
+    let info = load path in
+    let env = Minic.Interp.create info in
+    match
+      Minic.Interp.run ~fuel env (Minic.Interp.default_hooks ()) ~entry:"main"
+    with
+    | Minic.Interp.Finished v ->
+      Printf.printf "finished: %s (%d statements)\n"
+        (match v with Some v -> string_of_int v | None -> "void")
+        (Minic.Interp.statements_executed env);
+      0
+    | Minic.Interp.Halted ->
+      print_endline "halted";
+      0
+    | Minic.Interp.Fuel_exhausted ->
+      print_endline "fuel exhausted";
+      1
+    | exception Minic.Interp.Assertion_failed pos ->
+      Printf.printf "assertion failed at %d:%d\n" pos.Minic.Ast.line
+        pos.Minic.Ast.column;
+      1
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Statement budget")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute on the reference interpreter")
+    Term.(const action $ file_arg $ fuel)
+
+let cmd_compile =
+  let action path show_asm =
+    let info = load path in
+    let compiled = Mcc.Codegen.compile info in
+    Printf.printf "; %d instructions, data segment %d words\n"
+      (List.length compiled.Mcc.Codegen.instructions)
+      (Mcc.Symtab.data_words compiled.Mcc.Codegen.symtab);
+    List.iter
+      (fun (name, addr, size) ->
+        Printf.printf ";   %s @ 0x%04X (%d)\n" name addr size)
+      (Mcc.Symtab.globals compiled.Mcc.Codegen.symtab);
+    if show_asm then print_string compiled.Mcc.Codegen.asm_source;
+    0
+  in
+  let show_asm =
+    Arg.(value & flag & info [ "asm" ] ~doc:"Print generated assembly")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile MiniC to the RISC ISA")
+    Term.(const action $ file_arg $ show_asm)
+
+let cmd_sim =
+  let action path max_cycles =
+    let info = load path in
+    let soc = Platform.Soc.create () in
+    Platform.Soc.load soc (Mcc.Codegen.compile info);
+    Platform.Soc.run ~max_cycles soc;
+    let cpu = Platform.Soc.cpu soc in
+    (match Cpu.Cpu_core.stop_reason cpu with
+    | Cpu.Cpu_core.Halted ->
+      Printf.printf "halted after %d cycles, rv=%d\n" (Platform.Soc.cycles soc)
+        (Cpu.Cpu_core.reg cpu Cpu.Isa.reg_rv)
+    | Cpu.Cpu_core.Trapped code ->
+      Printf.printf "trap %d after %d cycles\n" code (Platform.Soc.cycles soc)
+    | Cpu.Cpu_core.Running ->
+      Printf.printf "still running after %d cycles\n"
+        (Platform.Soc.cycles soc));
+    (match Platform.Soc.console_output soc with
+    | [] -> ()
+    | output ->
+      Printf.printf "console: %s\n"
+        (String.concat " " (List.map string_of_int output)));
+    0
+  in
+  let cycles =
+    Arg.(value & opt int 1_000_000 & info [ "cycles" ] ~doc:"Cycle budget")
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Execute on the cycle-level SoC model")
+    Term.(const action $ file_arg $ cycles)
+
+let cmd_automaton =
+  let action text psl =
+    let formula =
+      if psl then Psl.parse text else Fltl_parser.parse text
+    in
+    let automaton = Ar_automaton.synthesize formula in
+    Printf.printf "%s\n" (Ar_automaton.stats automaton);
+    print_string (Il.to_string (Il.of_automaton ~name:"property" automaton));
+    0
+  in
+  let property =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROPERTY")
+  in
+  let psl = Arg.(value & flag & info [ "psl" ] ~doc:"Parse as PSL") in
+  Cmd.v
+    (Cmd.info "automaton"
+       ~doc:"Synthesize a property into an AR-automaton (IL text)")
+    Term.(const action $ property $ psl)
+
+(* --- verify ---------------------------------------------------------- *)
+
+let prop_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Error (`Msg "expected NAME=EXPR")
+  in
+  Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
+
+let cmd_verify =
+  let action path approach property props budget flag =
+    let info = load path in
+    let checker = Sctc.Checker.create ~name:"cli" () in
+    let register read_var =
+      List.iter
+        (fun (name, text) ->
+          let expr = Minic.C_parser.parse_expr text in
+          Sctc.Checker.register_sampler checker name (fun () ->
+              Minic.Value.to_bool (eval_pure read_var expr)))
+        props
+    in
+    let final () =
+      List.iter
+        (fun (name, verdict) ->
+          Printf.printf "%-20s %s\n" name (Verdict.to_string verdict))
+        (Sctc.Checker.verdicts checker);
+      match Sctc.Checker.overall checker with
+      | Verdict.False -> 1
+      | Verdict.True | Verdict.Pending -> 0
+    in
+    match approach with
+    | 1 ->
+      let soc = Platform.Soc.create () in
+      Platform.Soc.load soc (Mcc.Codegen.compile info);
+      register (Platform.Soc.read_var soc);
+      Sctc.Checker.add_property_text checker ~name:"property" property;
+      (match flag with
+      | Some flag_name ->
+        ignore (Platform.Esw_monitor.attach soc ~flag:flag_name checker)
+      | None ->
+        ignore
+          (Sctc.Trigger.on_clock (Platform.Soc.kernel soc)
+             (Platform.Soc.clock soc) checker));
+      Platform.Soc.run ~max_cycles:budget soc;
+      final ()
+    | 2 ->
+      let kernel = Sim.Kernel.create () in
+      let vmem = Esw.Vmem.create () in
+      let derived = Esw.C2sc.derive info in
+      let model = Esw.Esw_model.create kernel derived ~vmem in
+      register (fun name -> Esw.Esw_model.read_member model name);
+      Sctc.Checker.add_property_text checker ~name:"property" property;
+      ignore
+        (Sctc.Trigger.on_event kernel (Esw.Esw_model.pc_event model) checker);
+      ignore (Esw.Esw_model.start model ~entry:"main");
+      Sim.Kernel.run ~max_time:budget kernel;
+      final ()
+    | n ->
+      Printf.eprintf "unknown approach %d (use 1 or 2)\n" n;
+      2
+  in
+  let approach =
+    Arg.(value & opt int 2 & info [ "approach" ] ~doc:"1 = microprocessor model, 2 = derived SystemC model")
+  in
+  let property =
+    Arg.(required & opt (some string) None & info [ "property" ] ~docv:"FLTL"
+           ~doc:"FLTL property over the declared propositions")
+  in
+  let props =
+    Arg.(value & opt_all prop_conv [] & info [ "prop" ] ~docv:"NAME=EXPR"
+           ~doc:"Proposition definition (boolean MiniC expression over globals)")
+  in
+  let budget =
+    Arg.(value & opt int 100_000 & info [ "budget" ]
+           ~doc:"Cycles (approach 1) or statements (approach 2)")
+  in
+  let flag =
+    Arg.(value & opt (some string) None & info [ "flag" ]
+           ~doc:"Initialization flag variable for the approach-1 handshake")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Simulation-based temporal verification with SCTC")
+    Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag)
+
+let cmd_bmc =
+  let action path unwind timeout =
+    let info = load path in
+    let report = Bmc.check ~unwind ~timeout_seconds:timeout info in
+    (match report.Bmc.result with
+    | Bmc.Safe { complete } ->
+      Printf.printf "SAFE%s (%.2fs, %d circuit nodes, %d cnf vars)\n"
+        (if complete then "" else " up to unwind bound")
+        report.Bmc.seconds report.Bmc.circuit_nodes report.Bmc.cnf_vars
+    | Bmc.Unsafe cex ->
+      Printf.printf "UNSAFE: %s at %d:%d (%.2fs)\n" cex.Bmc.violated
+        cex.Bmc.position.Minic.Ast.line cex.Bmc.position.Minic.Ast.column
+        report.Bmc.seconds;
+      List.iter
+        (fun (name, v) -> Printf.printf "  %s = %d\n" name v)
+        cex.Bmc.input_values
+    | Bmc.Out_of_time -> Printf.printf "TIMEOUT after %.2fs\n" report.Bmc.seconds
+    | Bmc.Gave_up msg -> Printf.printf "GAVE UP: %s\n" msg);
+    match report.Bmc.result with Bmc.Unsafe _ -> 1 | _ -> 0
+  in
+  let unwind =
+    Arg.(value & opt int 20 & info [ "unwind" ] ~doc:"Loop unwinding bound")
+  in
+  let timeout =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc:"Seconds")
+  in
+  Cmd.v (Cmd.info "bmc" ~doc:"Bounded model checking (CBMC analog)")
+    Term.(const action $ file_arg $ unwind $ timeout)
+
+let cmd_absref =
+  let action path timeout =
+    let info = load path in
+    let report = Absref.Cegar.check ~timeout_seconds:timeout info in
+    (match report.Absref.Cegar.result with
+    | Absref.Cegar.Safe ->
+      Printf.printf "SAFE (%.2fs, %d iterations, %d predicates)\n"
+        report.Absref.Cegar.seconds report.Absref.Cegar.iterations
+        report.Absref.Cegar.predicates
+    | Absref.Cegar.Bug { path_length; position } ->
+      Printf.printf "BUG: path of %d edges, assertion at %d:%d (%.2fs)\n"
+        path_length position.Minic.Ast.line position.Minic.Ast.column
+        report.Absref.Cegar.seconds
+    | Absref.Cegar.Aborted msg ->
+      Printf.printf "ABORTED: %s (%.2fs)\n" msg report.Absref.Cegar.seconds
+    | Absref.Cegar.Unknown msg ->
+      Printf.printf "UNKNOWN: %s (%.2fs)\n" msg report.Absref.Cegar.seconds);
+    match report.Absref.Cegar.result with Absref.Cegar.Bug _ -> 1 | _ -> 0
+  in
+  let timeout =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc:"Seconds")
+  in
+  Cmd.v
+    (Cmd.info "absref"
+       ~doc:"Predicate abstraction with refinement (BLAST analog)")
+    Term.(const action $ file_arg $ timeout)
+
+let cmd_eee =
+  let action approach op_name cases bound fault_rate =
+    let op =
+      match
+        List.find_opt
+          (fun op ->
+            String.lowercase_ascii (Eee.Eee_spec.op_name op)
+            = String.lowercase_ascii op_name)
+          Eee.Eee_spec.all_ops
+      with
+      | Some op -> op
+      | None ->
+        Printf.eprintf "unknown operation %s\n" op_name;
+        exit 2
+    in
+    let backend =
+      match approach with
+      | 1 -> Eee.Harness.approach1 ~fault_rate ()
+      | 2 -> Eee.Harness.approach2 ~fault_rate ()
+      | n ->
+        Printf.eprintf "unknown approach %d\n" n;
+        exit 2
+    in
+    Eee.Driver.install_spec ~bound backend [ op ];
+    let config =
+      { Eee.Driver.default_config with test_cases = cases; bound }
+    in
+    let outcome = Eee.Driver.run_campaign backend config op in
+    Format.printf "%s@.%a@." backend.Eee.Driver.backend_name
+      Eee.Driver.pp_outcome outcome;
+    Format.printf "observed returns: %s@."
+      (String.concat ", " (Sctc.Coverage.observed outcome.Eee.Driver.coverage));
+    0
+  in
+  let approach =
+    Arg.(value & opt int 2 & info [ "approach" ] ~doc:"1 or 2")
+  in
+  let op =
+    Arg.(value & opt string "read" & info [ "op" ]
+           ~doc:"read|write|startup1|startup2|format|prepare|refresh")
+  in
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Test cases")
+  in
+  let bound =
+    Arg.(value & opt (some int) None & info [ "bound" ]
+           ~doc:"Time bound of the response property")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.02 & info [ "fault-rate" ]
+           ~doc:"Flash fault-injection probability")
+  in
+  Cmd.v
+    (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
+    Term.(const action $ approach $ op $ cases $ bound $ fault_rate)
+
+let () =
+  let doc = "temporal verification of automotive embedded software" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "tcheck" ~version:"1.0.0" ~doc)
+          [
+            cmd_parse; cmd_run; cmd_compile; cmd_sim; cmd_automaton;
+            cmd_verify; cmd_bmc; cmd_absref; cmd_eee;
+          ]))

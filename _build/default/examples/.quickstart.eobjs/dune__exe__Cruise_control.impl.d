@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Cpu List Mcc Minic Platform Printf Sctc Verdict

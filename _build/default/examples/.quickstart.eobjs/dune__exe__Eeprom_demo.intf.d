@@ -1,0 +1,1 @@
+examples/eeprom_demo.mli:

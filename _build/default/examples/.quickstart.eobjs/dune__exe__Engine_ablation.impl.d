@@ -1,0 +1,1 @@
+examples/engine_ablation.ml: Ar_automaton Fltl_parser Il List Printf Sctc Unix Verdict

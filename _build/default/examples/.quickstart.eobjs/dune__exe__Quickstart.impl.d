@@ -1,0 +1,1 @@
+examples/quickstart.ml: Esw List Minic Printf Sctc Sim Verdict

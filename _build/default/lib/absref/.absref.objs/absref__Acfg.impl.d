@@ -1,0 +1,1 @@
+lib/absref/acfg.ml: Array Format Linexpr List Minic Option Printf String

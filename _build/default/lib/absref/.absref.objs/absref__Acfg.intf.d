@@ -1,0 +1,1 @@
+lib/absref/acfg.mli: Format Linexpr Minic

@@ -1,0 +1,1 @@
+lib/absref/cegar.ml: Acfg Fourier_motzkin Hashtbl Linexpr List Map Minic Normalize Printf Queue Set String Unix

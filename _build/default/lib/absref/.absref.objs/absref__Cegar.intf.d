@@ -1,0 +1,1 @@
+lib/absref/cegar.mli: Minic

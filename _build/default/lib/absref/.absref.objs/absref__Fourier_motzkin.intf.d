@@ -1,0 +1,1 @@
+lib/absref/fourier_motzkin.mli: Linexpr

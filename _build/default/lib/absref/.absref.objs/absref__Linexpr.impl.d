@@ -1,0 +1,1 @@
+lib/absref/linexpr.ml: Format Int List Map Minic Option String

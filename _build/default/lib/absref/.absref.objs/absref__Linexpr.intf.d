@@ -1,0 +1,1 @@
+lib/absref/linexpr.mli: Format Minic

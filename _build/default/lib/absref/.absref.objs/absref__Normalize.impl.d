@@ -1,0 +1,1 @@
+lib/absref/normalize.ml: List Minic Option Printf

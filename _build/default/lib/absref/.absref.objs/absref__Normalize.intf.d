@@ -1,0 +1,1 @@
+lib/absref/normalize.mli: Minic

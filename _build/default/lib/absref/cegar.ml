@@ -1,0 +1,271 @@
+type result =
+  | Safe
+  | Bug of { path_length : int; position : Minic.Ast.position }
+  | Aborted of string
+  | Unknown of string
+
+type report = {
+  result : result;
+  iterations : int;
+  predicates : int;
+  art_nodes : int;
+  seconds : float;
+}
+
+exception Abort_analysis of string
+
+module LSet = Set.Make (Linexpr)
+module SMap = Map.Make (String)
+
+(* a region: tracked predicates known true / known false *)
+type region = { yes : LSet.t; no : LSet.t }
+
+let region_constraints region =
+  LSet.elements region.yes
+  @ List.map Linexpr.negate_atom (LSet.elements region.no)
+
+(* r2 is at least as strong as r1 (fewer concrete states) *)
+let stronger_than r2 r1 = LSet.subset r1.yes r2.yes && LSet.subset r1.no r2.no
+
+(* abstract post of a region through a command *)
+let post ~predicates region (cmd : Acfg.cmd) =
+  match cmd with
+  | Acfg.Skip -> Some region
+  | Acfg.Havoc x ->
+    Some
+      {
+        yes = LSet.filter (fun p -> not (Linexpr.mentions p x)) region.yes;
+        no = LSet.filter (fun p -> not (Linexpr.mentions p x)) region.no;
+      }
+  | Acfg.Assume atoms ->
+    let hyps = atoms @ region_constraints region in
+    if not (try Fourier_motzkin.satisfiable hyps with Fourier_motzkin.Blowup n ->
+              raise (Abort_analysis (Printf.sprintf "decision procedure blowup (%d constraints)" n)))
+    then None (* infeasible branch *)
+    else
+      Some
+        (List.fold_left
+           (fun region p ->
+             if LSet.mem p region.yes || LSet.mem p region.no then region
+             else if Fourier_motzkin.entails hyps p then
+               { region with yes = LSet.add p region.yes }
+             else if Fourier_motzkin.entails hyps (Linexpr.negate_atom p) then
+               { region with no = LSet.add p region.no }
+             else region)
+           region predicates)
+  | Acfg.Assign (x, e) ->
+    let hyps = region_constraints region in
+    Some
+      (List.fold_left
+         (fun acc p ->
+           (* p holds after x := e iff p[x := e] holds before *)
+           let wp = Linexpr.normalize (Linexpr.subst p x e) in
+           if Linexpr.atom_true wp || Fourier_motzkin.entails hyps wp then
+             { acc with yes = LSet.add p acc.yes }
+           else if
+             Linexpr.atom_false wp
+             || Fourier_motzkin.entails hyps (Linexpr.negate_atom wp)
+           then { acc with no = LSet.add p acc.no }
+           else acc)
+         { yes = LSet.empty; no = LSet.empty }
+         predicates)
+
+(* ------------------------------------------------------------------ *)
+(* abstract reachability: BFS with coverage; returns an error path as a
+   list of edges, or None when the error location is unreachable *)
+
+type art_result =
+  | Unreachable of int (* nodes explored *)
+  | Error_path of Acfg.edge list * int
+
+let reachability cfg ~predicates ~max_nodes ~deadline =
+  let visited : (int, region list ref) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let initial = { yes = LSet.empty; no = LSet.empty } in
+  Queue.add (Acfg.entry cfg, initial, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let loc, region, path = Queue.pop queue in
+       incr explored;
+       if !explored > max_nodes then
+         raise
+           (Abort_analysis
+              (Printf.sprintf "abstract reachability exceeded %d nodes"
+                 max_nodes));
+       if !explored land 127 = 0 && Unix.gettimeofday () > deadline then
+         raise (Abort_analysis "timeout during abstract reachability");
+       let regions =
+         match Hashtbl.find_opt visited loc with
+         | Some cell -> cell
+         | None ->
+           let cell = ref [] in
+           Hashtbl.replace visited loc cell;
+           cell
+       in
+       (* covered when an already-explored region is weaker *)
+       if not (List.exists (fun r -> stronger_than region r) !regions) then begin
+         regions := region :: !regions;
+         List.iter
+           (fun (edge : Acfg.edge) ->
+             match post ~predicates region edge.Acfg.cmd with
+             | None -> ()
+             | Some region' ->
+               let path' = edge :: path in
+               if edge.Acfg.dst = Acfg.error cfg then begin
+                 if !result = None then result := Some (List.rev path')
+               end
+               else Queue.add (edge.Acfg.dst, region', path') queue)
+           (Acfg.succ cfg loc);
+         match !result with Some _ -> raise Exit | None -> ()
+       end
+     done
+   with Exit -> ());
+  match !result with
+  | Some path -> Error_path (path, !explored)
+  | None -> Unreachable !explored
+
+(* ------------------------------------------------------------------ *)
+(* concrete path feasibility: strongest-postcondition simulation with a
+   symbolic store of linear expressions over fresh symbols *)
+
+let path_feasible path =
+  let fresh = ref 0 in
+  let fresh_symbol base =
+    incr fresh;
+    Printf.sprintf "%s!%d" base !fresh
+  in
+  let store = ref SMap.empty in
+  let value_of x =
+    match SMap.find_opt x !store with
+    | Some le -> le
+    | None ->
+      (* first read: a fresh symbol for the unknown initial value *)
+      let sym = Linexpr.var (fresh_symbol x) in
+      store := SMap.add x sym !store;
+      sym
+  in
+  let rewrite atom =
+    List.fold_left
+      (fun atom v -> Linexpr.subst atom v (value_of v))
+      atom (Linexpr.vars atom)
+  in
+  let constraints = ref [] in
+  List.iter
+    (fun (edge : Acfg.edge) ->
+      match edge.Acfg.cmd with
+      | Acfg.Skip -> ()
+      | Acfg.Havoc x -> store := SMap.add x (Linexpr.var (fresh_symbol x)) !store
+      | Acfg.Assign (x, e) ->
+        let rhs = rewrite e in
+        store := SMap.add x rhs !store
+      | Acfg.Assume atoms ->
+        List.iter (fun atom -> constraints := rewrite atom :: !constraints) atoms)
+    path;
+  try Fourier_motzkin.satisfiable !constraints
+  with Fourier_motzkin.Blowup n ->
+    raise
+      (Abort_analysis
+         (Printf.sprintf "path feasibility blowup (%d constraints)" n))
+
+(* refinement: weakest-precondition atoms along the path *)
+let refine_predicates path =
+  (* walk the path backward accumulating atoms transported to the front *)
+  let collected = ref LSet.empty in
+  let pending = ref [] in
+  List.iter
+    (fun (edge : Acfg.edge) ->
+      (match edge.Acfg.cmd with
+      | Acfg.Skip -> ()
+      | Acfg.Havoc x ->
+        pending := List.filter (fun a -> not (Linexpr.mentions a x)) !pending
+      | Acfg.Assign (x, e) ->
+        pending := List.map (fun a -> Linexpr.normalize (Linexpr.subst a x e)) !pending
+      | Acfg.Assume atoms ->
+        pending := List.map Linexpr.normalize atoms @ !pending);
+      List.iter
+        (fun a ->
+          if not (Linexpr.atom_true a || Linexpr.atom_false a) then
+            collected := LSet.add a !collected)
+        !pending)
+    (List.rev path);
+  LSet.elements !collected
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(max_predicates = 60) ?(max_art_nodes = 60_000)
+    ?(max_iterations = 30) ?(timeout_seconds = 60.0) ?(entry = "main") info =
+  let started = Unix.gettimeofday () in
+  let deadline = started +. timeout_seconds in
+  let finish ~iterations ~predicates ~art_nodes result =
+    {
+      result;
+      iterations;
+      predicates;
+      art_nodes;
+      seconds = Unix.gettimeofday () -. started;
+    }
+  in
+  match
+    let normalized = Normalize.program info in
+    Acfg.build normalized ~entry
+  with
+  | exception Acfg.Build_unsupported msg ->
+    finish ~iterations:0 ~predicates:0 ~art_nodes:0
+      (Aborted ("CFG construction: " ^ msg))
+  | cfg -> (
+    let predicates = ref [] in
+    let iterations = ref 0 in
+    let art_nodes = ref 0 in
+    match
+      let rec loop () =
+        incr iterations;
+        if !iterations > max_iterations then
+          raise (Abort_analysis "too many refinement iterations");
+        if Unix.gettimeofday () > deadline then
+          raise (Abort_analysis "timeout");
+        match
+          reachability cfg ~predicates:!predicates ~max_nodes:max_art_nodes
+            ~deadline
+        with
+        | Unreachable explored ->
+          art_nodes := explored;
+          Safe
+        | Error_path (path, explored) ->
+          art_nodes := explored;
+          if path_feasible path then
+            Bug
+              {
+                path_length = List.length path;
+                position =
+                  (match List.rev path with
+                  | last :: _ -> last.Acfg.pos
+                  | [] -> Minic.Ast.dummy_pos);
+              }
+          else begin
+            let fresh = refine_predicates path in
+            let existing = LSet.of_list !predicates in
+            let genuinely_new =
+              List.filter (fun p -> not (LSet.mem p existing)) fresh
+            in
+            if genuinely_new = [] then
+              Unknown "refinement produced no new predicates"
+            else begin
+              predicates := LSet.elements (LSet.union existing (LSet.of_list fresh));
+              if List.length !predicates > max_predicates then
+                raise
+                  (Abort_analysis
+                     (Printf.sprintf "predicate set exceeded %d" max_predicates));
+              loop ()
+            end
+          end
+      in
+      loop ()
+    with
+    | result ->
+      finish ~iterations:!iterations ~predicates:(List.length !predicates)
+        ~art_nodes:!art_nodes result
+    | exception Abort_analysis msg ->
+      finish ~iterations:!iterations ~predicates:(List.length !predicates)
+        ~art_nodes:!art_nodes (Aborted msg))

@@ -1,0 +1,61 @@
+exception Blowup of int
+
+module LSet = Set.Make (Linexpr)
+
+let satisfiable ?(max_constraints = 4000) atoms =
+  (* quick syntactic checks, then eliminate variables one by one *)
+  let rec eliminate constraints =
+    if List.exists Linexpr.atom_false constraints then false
+    else begin
+      let constraints =
+        List.filter (fun e -> not (Linexpr.atom_true e)) constraints
+      in
+      if List.length constraints > max_constraints then
+        raise (Blowup (List.length constraints));
+      (* pick a variable *)
+      match
+        List.find_map
+          (fun e -> match Linexpr.vars e with x :: _ -> Some x | [] -> None)
+          constraints
+      with
+      | None -> true (* only satisfied constants remain *)
+      | Some x ->
+        let with_pos, with_neg, without =
+          List.fold_left
+            (fun (pos, neg, rest) e ->
+              let c = Linexpr.coeff e x in
+              if c > 0 then (e :: pos, neg, rest)
+              else if c < 0 then (pos, e :: neg, rest)
+              else (pos, neg, e :: rest))
+            ([], [], []) constraints
+        in
+        (* combine each (positive, negative) pair:
+           a·x + p ≤ 0 (a>0), -b·x + q ≤ 0 (b>0)  ⟹  b·p + a·q ≤ 0 *)
+        let combined =
+          List.concat_map
+            (fun ep ->
+              let a = Linexpr.coeff ep x in
+              let p = Linexpr.sub ep (Linexpr.scale a (Linexpr.var x)) in
+              List.map
+                (fun en ->
+                  let b = -Linexpr.coeff en x in
+                  let q = Linexpr.add en (Linexpr.scale b (Linexpr.var x)) in
+                  Linexpr.normalize
+                    (Linexpr.add (Linexpr.scale b p) (Linexpr.scale a q)))
+                with_neg)
+            with_pos
+        in
+        let next =
+          LSet.elements (LSet.of_list (combined @ without))
+        in
+        eliminate next
+    end
+  in
+  eliminate (List.map Linexpr.normalize atoms)
+
+let entails ?max_constraints hyps goal =
+  if Linexpr.atom_true goal then true
+  else
+    match satisfiable ?max_constraints (Linexpr.negate_atom goal :: hyps) with
+    | sat -> not sat
+    | exception Blowup _ -> false

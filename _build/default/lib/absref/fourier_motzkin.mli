@@ -1,0 +1,26 @@
+(** Fourier–Motzkin elimination: the decision procedure of the
+    abstraction-refinement checker (standing in for BLAST's theorem
+    prover).
+
+    Decides satisfiability of conjunctions of linear atoms [e ≤ 0] over
+    the rationals. Rational reasoning is sound for the two uses here:
+    rationally-unsat implies integrally-unsat (so entailment answers
+    "yes" only when correct) and rationally-sat counterexample paths are
+    reported as potentially spurious.
+
+    FM elimination doubles constraints per eliminated variable in the
+    worst case; the [Blowup] exception reports the resource exhaustion —
+    this is the analog of the theorem-prover aborts the paper observed
+    with BLAST. *)
+
+exception Blowup of int
+
+val satisfiable : ?max_constraints:int -> Linexpr.t list -> bool
+(** Conjunction of [e ≤ 0] atoms (default budget 4000 constraints).
+    @raise Blowup when the budget is exceeded. *)
+
+val entails : ?max_constraints:int -> Linexpr.t list -> Linexpr.t -> bool
+(** [entails hyps goal]: does [∧ hyps ≤ 0] imply [goal ≤ 0] over the
+    integers? (Decided as rational unsatisfiability of
+    [hyps ∧ 1 - goal ≤ 0]; "false" answers may be imprecise, "true"
+    answers are sound.) Returns [false] instead of raising on blowup. *)

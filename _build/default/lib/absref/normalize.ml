@@ -1,0 +1,158 @@
+module Ast = Minic.Ast
+
+let counter = ref 0
+
+let fresh_temp () =
+  incr counter;
+  Printf.sprintf "__t%d" !counter
+
+(* hoist impure subexpressions (calls, nondet, mem reads) out of [e];
+   returns (prelude statements, pure expression) *)
+let rec hoist_expr (e : Ast.expr) =
+  let mk edesc = { e with Ast.edesc } in
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Var _ -> ([], e)
+  | Ast.Index (name, index) ->
+    let pre, index = hoist_expr index in
+    (pre, mk (Ast.Index (name, index)))
+  | Ast.Unop (op, inner) ->
+    let pre, inner = hoist_expr inner in
+    (pre, mk (Ast.Unop (op, inner)))
+  | Ast.Binop (op, a, b) ->
+    (* note: hoisting out of && / || loses lazy evaluation of side
+       effects; acceptable for the abstraction (it over-approximates) *)
+    let pre_a, a = hoist_expr a in
+    let pre_b, b = hoist_expr b in
+    (pre_a @ pre_b, mk (Ast.Binop (op, a, b)))
+  | Ast.Call (name, args) ->
+    let pres, args = List.split (List.map hoist_expr args) in
+    let temp = fresh_temp () in
+    ( List.concat pres
+      @ [ Ast.stmt (Ast.Decl (temp, Ast.Tint, Some (mk (Ast.Call (name, args))))) ],
+      Ast.var temp )
+  | Ast.Nondet (lo, hi) ->
+    let pre_lo, lo = hoist_expr lo in
+    let pre_hi, hi = hoist_expr hi in
+    let temp = fresh_temp () in
+    ( pre_lo @ pre_hi
+      @ [ Ast.stmt (Ast.Decl (temp, Ast.Tint, Some (mk (Ast.Nondet (lo, hi))))) ],
+      Ast.var temp )
+  | Ast.Mem_read addr ->
+    let pre, addr = hoist_expr addr in
+    let temp = fresh_temp () in
+    ( pre
+      @ [ Ast.stmt (Ast.Decl (temp, Ast.Tint, Some (mk (Ast.Mem_read addr)))) ],
+      Ast.var temp )
+
+let block stmts = Ast.stmt (Ast.Block stmts)
+
+let rec simplify_stmt (s : Ast.stmt) : Ast.stmt list =
+  let mk sdesc = { s with Ast.sdesc } in
+  match s.Ast.sdesc with
+  | Ast.Block body -> [ mk (Ast.Block (simplify_list body)) ]
+  | Ast.Decl (name, typ, init) -> (
+    match init with
+    | None -> [ s ]
+    | Some e ->
+      let pre, e = hoist_expr e in
+      pre @ [ mk (Ast.Decl (name, typ, Some e)) ])
+  | Ast.Expr e -> (
+    match e.Ast.edesc with
+    | Ast.Call (name, args) ->
+      let pres, args = List.split (List.map hoist_expr args) in
+      List.concat pres
+      @ [ mk (Ast.Expr { e with Ast.edesc = Ast.Call (name, args) }) ]
+    | _ ->
+      let pre, e = hoist_expr e in
+      pre @ [ mk (Ast.Expr e) ])
+  | Ast.Assign (lhs, e) ->
+    let pre_l, lhs =
+      match lhs with
+      | Ast.Lvar _ -> ([], lhs)
+      | Ast.Lindex (name, index) ->
+        let pre, index = hoist_expr index in
+        (pre, Ast.Lindex (name, index))
+      | Ast.Lmem addr ->
+        let pre, addr = hoist_expr addr in
+        (pre, Ast.Lmem addr)
+    in
+    let pre_e, e = hoist_expr e in
+    pre_l @ pre_e @ [ mk (Ast.Assign (lhs, e)) ]
+  | Ast.If (cond, then_s, else_s) ->
+    let pre, cond = hoist_expr cond in
+    pre
+    @ [
+        mk
+          (Ast.If
+             ( cond,
+               block (simplify_stmt then_s),
+               Option.map (fun e -> block (simplify_stmt e)) else_s ));
+      ]
+  | Ast.While (cond, body) ->
+    let pre, pure_cond = hoist_expr cond in
+    if pre = [] then [ mk (Ast.While (pure_cond, block (simplify_stmt body))) ]
+    else
+      (* the condition has effects: re-evaluate them inside the loop *)
+      [
+        mk
+          (Ast.While
+             ( Ast.expr (Ast.Bool_lit true),
+               block
+                 (pre
+                 @ [
+                     Ast.stmt
+                       (Ast.If
+                          ( Ast.expr (Ast.Unop (Ast.Lognot, pure_cond)),
+                            Ast.stmt Ast.Break,
+                            None ));
+                   ]
+                 @ simplify_stmt body) ));
+      ]
+  | Ast.Do_while (body, cond) ->
+    (* body; while (cond) body *)
+    simplify_stmt body
+    @ simplify_stmt (mk (Ast.While (cond, body)))
+  | Ast.For (init, cond, step, body) ->
+    let init_stmts = match init with None -> [] | Some i -> simplify_stmt i in
+    let cond_expr =
+      match cond with None -> Ast.expr (Ast.Bool_lit true) | Some c -> c
+    in
+    let body_with_step =
+      block
+        (simplify_stmt body
+        @ (match step with None -> [] | Some st -> simplify_stmt st))
+    in
+    init_stmts @ simplify_stmt (mk (Ast.While (cond_expr, body_with_step)))
+  | Ast.Switch (scrutinee, cases) ->
+    let pre, scrutinee = hoist_expr scrutinee in
+    pre
+    @ [
+        mk
+          (Ast.Switch
+             ( scrutinee,
+               List.map
+                 (fun case ->
+                   { case with Ast.body = simplify_list case.Ast.body })
+                 cases ));
+      ]
+  | Ast.Return (Some e) ->
+    let pre, e = hoist_expr e in
+    pre @ [ mk (Ast.Return (Some e)) ]
+  | Ast.Return None | Ast.Break | Ast.Continue | Ast.Halt -> [ s ]
+  | Ast.Assert e ->
+    let pre, e = hoist_expr e in
+    pre @ [ mk (Ast.Assert e) ]
+  | Ast.Assume e ->
+    let pre, e = hoist_expr e in
+    pre @ [ mk (Ast.Assume e) ]
+
+and simplify_list stmts = List.concat_map simplify_stmt stmts
+
+let program info =
+  let prog = Minic.Typecheck.program info in
+  let funcs =
+    List.map
+      (fun (f : Ast.func) -> { f with Ast.f_body = simplify_list f.Ast.f_body })
+      prog.Ast.funcs
+  in
+  Minic.Typecheck.check { prog with Ast.funcs }

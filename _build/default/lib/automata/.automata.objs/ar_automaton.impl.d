@@ -1,0 +1,1 @@
+lib/automata/ar_automaton.ml: Array Formula Hashtbl List Printf Progression Queue String Unix Verdict

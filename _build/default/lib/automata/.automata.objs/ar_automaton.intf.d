@@ -1,0 +1,1 @@
+lib/automata/ar_automaton.mli: Formula

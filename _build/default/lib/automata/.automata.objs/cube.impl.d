@@ -1,0 +1,1 @@
+lib/automata/cube.ml: Array Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/automata/il.ml: Ar_automaton Array Cube Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/automata/il.mli: Ar_automaton Cube Format

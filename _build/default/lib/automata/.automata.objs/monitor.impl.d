@@ -1,0 +1,1 @@
+lib/automata/monitor.ml: Ar_automaton Array Formula Il Progression String Verdict

@@ -1,0 +1,1 @@
+lib/automata/monitor.mli: Ar_automaton Formula Il Verdict

@@ -1,0 +1,1 @@
+lib/automata/progression.mli: Formula Verdict

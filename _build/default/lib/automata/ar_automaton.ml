@@ -1,0 +1,101 @@
+type state_kind = Accept | Reject | Pend
+
+type t = {
+  formula : Formula.t;
+  props : string array;
+  states : Formula.t array;
+  kinds : state_kind array;
+  delta : int array array; (* delta.(state).(assignment mask) *)
+  initial : int;
+  build_seconds : float;
+}
+
+exception Too_large of int
+
+let kind_of_formula f =
+  match Progression.verdict f with
+  | Verdict.True -> Accept
+  | Verdict.False -> Reject
+  | Verdict.Pending -> Pend
+
+let synthesize ?(max_states = 200_000) formula =
+  let started = Unix.gettimeofday () in
+  let props = Array.of_list (Formula.props formula) in
+  let num_props = Array.length props in
+  if num_props > 16 then
+    invalid_arg "Ar_automaton.synthesize: more than 16 propositions";
+  let num_assignments = 1 lsl num_props in
+  let valuation_of_mask mask name =
+    let rec find i =
+      if i >= num_props then
+        invalid_arg ("Ar_automaton: unknown proposition " ^ name)
+      else if String.equal props.(i) name then mask land (1 lsl i) <> 0
+      else find (i + 1)
+    in
+    find 0
+  in
+  let index_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern f =
+    match Hashtbl.find_opt index_of (Formula.hash f) with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      if !count > max_states then raise (Too_large !count);
+      Hashtbl.replace index_of (Formula.hash f) id;
+      states := f :: !states;
+      Queue.add (f, id) queue;
+      id
+  in
+  let initial = intern formula in
+  let rows = Hashtbl.create 256 in
+  while not (Queue.is_empty queue) do
+    let f, id = Queue.pop queue in
+    let row =
+      match kind_of_formula f with
+      | Accept | Reject ->
+        (* absorbing *)
+        Array.make num_assignments id
+      | Pend ->
+        Array.init num_assignments (fun mask ->
+            intern (Progression.step f (valuation_of_mask mask)))
+    in
+    Hashtbl.replace rows id row
+  done;
+  let states = Array.of_list (List.rev !states) in
+  let delta =
+    Array.init (Array.length states) (fun id -> Hashtbl.find rows id)
+  in
+  let kinds = Array.map kind_of_formula states in
+  {
+    formula;
+    props;
+    states;
+    kinds;
+    delta;
+    initial;
+    build_seconds = Unix.gettimeofday () -. started;
+  }
+
+let formula a = a.formula
+let props a = a.props
+let num_states a = Array.length a.states
+let num_props a = Array.length a.props
+let initial a = a.initial
+let kind a state = a.kinds.(state)
+let next a state mask = a.delta.(state).(mask)
+let state_formula a state = a.states.(state)
+let build_seconds a = a.build_seconds
+
+let mask_of_valuation a valuation =
+  let mask = ref 0 in
+  Array.iteri (fun i name -> if valuation name then mask := !mask lor (1 lsl i))
+    a.props;
+  !mask
+
+let stats a =
+  Printf.sprintf "%d states, %d propositions, built in %.3fs" (num_states a)
+    (num_props a) a.build_seconds

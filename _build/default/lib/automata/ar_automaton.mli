@@ -1,0 +1,48 @@
+(** Explicit Accept/Reject automata.
+
+    SCTC's synthesis engine translates a property into an AR-automaton that
+    is executed during system monitoring (Ruf et al., DATE 2001). States are
+    obligations (formulas); the automaton reads one proposition assignment
+    per trigger and moves to the progressed obligation. [Accept] and
+    [Reject] states are absorbing and correspond to validation/violation on
+    the finite trace; everything else is pending.
+
+    Explicit synthesis enumerates all reachable obligations up front, which
+    for a bounded operator [F[b]] creates O(b) count-down states — the
+    source of the large AR-automaton generation times the paper reports for
+    time bound 100000. The on-the-fly alternative is {!Progression}. *)
+
+type state_kind = Accept | Reject | Pend
+
+type t
+
+exception Too_large of int
+(** Raised by {!synthesize} when the state count exceeds [max_states]. *)
+
+(** [synthesize ?max_states formula] builds the explicit automaton
+    (default [max_states] 200000). *)
+val synthesize : ?max_states:int -> Formula.t -> t
+
+val formula : t -> Formula.t
+val props : t -> string array
+(** Proposition order defining assignment bitmasks: bit [i] = value of
+    [props.(i)]. *)
+
+val num_states : t -> int
+val num_props : t -> int
+val initial : t -> int
+val kind : t -> int -> state_kind
+val next : t -> int -> int -> int
+(** [next a state mask] is the successor under assignment [mask]. *)
+
+val state_formula : t -> int -> Formula.t
+(** The obligation a state denotes. *)
+
+val build_seconds : t -> float
+(** Wall-clock time spent in synthesis (the paper's "AR-automaton
+    generation time" component of verification time). *)
+
+val mask_of_valuation : t -> (string -> bool) -> int
+
+val stats : t -> string
+(** Human-readable summary: states, propositions, build time. *)

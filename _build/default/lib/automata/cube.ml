@@ -1,0 +1,119 @@
+type literal = Zero | One | Dash
+type t = literal array
+
+let of_minterm ~width mask =
+  Array.init width (fun i -> if mask land (1 lsl i) <> 0 then One else Zero)
+
+let matches cube mask =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      match lit with
+      | Dash -> ()
+      | One -> if mask land (1 lsl i) = 0 then ok := false
+      | Zero -> if mask land (1 lsl i) <> 0 then ok := false)
+    cube;
+  !ok
+
+let minterms cube =
+  let width = Array.length cube in
+  let rec expand i masks =
+    if i >= width then masks
+    else
+      let masks' =
+        match cube.(i) with
+        | Zero -> masks
+        | One -> List.map (fun m -> m lor (1 lsl i)) masks
+        | Dash -> masks @ List.map (fun m -> m lor (1 lsl i)) masks
+      in
+      expand (i + 1) masks'
+  in
+  List.sort Int.compare (expand 0 [ 0 ])
+
+(* Merge two cubes differing in exactly one specified position. *)
+let try_merge a b =
+  let width = Array.length a in
+  let diff = ref (-1) in
+  let ok = ref true in
+  for i = 0 to width - 1 do
+    if a.(i) <> b.(i) then
+      if a.(i) = Dash || b.(i) = Dash then ok := false
+      else if !diff >= 0 then ok := false
+      else diff := i
+  done;
+  if !ok && !diff >= 0 then begin
+    let merged = Array.copy a in
+    merged.(!diff) <- Dash;
+    Some merged
+  end
+  else None
+
+let minimize ~width masks =
+  if masks = [] then []
+  else begin
+    let module IS = Set.Make (Int) in
+    let wanted = IS.of_list masks in
+    (* Prime cube generation: iteratively merge adjacent cubes. *)
+    let current = ref (List.map (of_minterm ~width) (IS.elements wanted)) in
+    let primes = ref [] in
+    let continue = ref true in
+    while !continue do
+      let cubes = Array.of_list !current in
+      let used = Array.make (Array.length cubes) false in
+      let next = Hashtbl.create 16 in
+      for i = 0 to Array.length cubes - 1 do
+        for j = i + 1 to Array.length cubes - 1 do
+          match try_merge cubes.(i) cubes.(j) with
+          | Some merged ->
+            used.(i) <- true;
+            used.(j) <- true;
+            Hashtbl.replace next merged ()
+          | None -> ()
+        done
+      done;
+      for i = 0 to Array.length cubes - 1 do
+        if not used.(i) then primes := cubes.(i) :: !primes
+      done;
+      let merged_list = Hashtbl.fold (fun c () acc -> c :: acc) next [] in
+      if merged_list = [] then continue := false else current := merged_list
+    done;
+    (* Greedy cover of the wanted minterms by prime cubes.  Primes only
+       cover wanted minterms by construction (merging preserves coverage of
+       the original on-set). *)
+    let primes = Array.of_list !primes in
+    let cover = ref [] in
+    let remaining = ref wanted in
+    while not (IS.is_empty !remaining) do
+      let best = ref (-1) and best_gain = ref 0 in
+      Array.iteri
+        (fun i cube ->
+          let gain =
+            List.length
+              (List.filter (fun m -> IS.mem m !remaining) (minterms cube))
+          in
+          if gain > !best_gain then begin
+            best := i;
+            best_gain := gain
+          end)
+        primes;
+      assert (!best >= 0);
+      let chosen = primes.(!best) in
+      cover := chosen :: !cover;
+      remaining :=
+        List.fold_left (fun set m -> IS.remove m set) !remaining
+          (minterms chosen)
+    done;
+    List.rev !cover
+  end
+
+let to_string cube =
+  String.init (Array.length cube) (fun i ->
+      match cube.(i) with Zero -> '0' | One -> '1' | Dash -> '-')
+
+let of_string text =
+  Array.init (String.length text) (fun i ->
+      match text.[i] with
+      | '0' -> Zero
+      | '1' -> One
+      | '-' -> Dash
+      | c -> invalid_arg (Printf.sprintf "Cube.of_string: %C" c))

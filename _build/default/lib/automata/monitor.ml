@@ -1,0 +1,116 @@
+type engine =
+  | Formula_engine of { initial : Formula.t; mutable current : Formula.t }
+  | Automaton_engine of { automaton : Ar_automaton.t; mutable state : int }
+  | Il_engine of { il : Il.t; mutable state : int }
+
+type t = {
+  m_name : string;
+  engine : engine;
+  support : string array; (* proposition names, bitmask order for explicit *)
+  samplers : (unit -> bool) array;
+  mutable step_count : int;
+  mutable last_verdict : Verdict.t;
+}
+
+let resolve_support ~binding support =
+  Array.map (fun name -> binding name) support
+
+let make name engine support binding =
+  {
+    m_name = name;
+    engine;
+    support;
+    samplers = resolve_support ~binding support;
+    step_count = 0;
+    last_verdict = Verdict.Pending;
+  }
+
+let engine_verdict = function
+  | Formula_engine e -> Progression.verdict e.current
+  | Automaton_engine e -> (
+    match Ar_automaton.kind e.automaton e.state with
+    | Ar_automaton.Accept -> Verdict.True
+    | Ar_automaton.Reject -> Verdict.False
+    | Ar_automaton.Pend -> Verdict.Pending)
+  | Il_engine e -> (
+    match e.il.Il.states.(e.state).Il.kind with
+    | Il.Accept -> Verdict.True
+    | Il.Reject -> Verdict.False
+    | Il.Pend -> Verdict.Pending)
+
+let of_formula ~name formula ~binding =
+  let support = Array.of_list (Formula.props formula) in
+  let engine = Formula_engine { initial = formula; current = formula } in
+  let monitor = make name engine support binding in
+  monitor.last_verdict <- engine_verdict engine;
+  monitor
+
+let of_automaton ~name automaton ~binding =
+  let engine =
+    Automaton_engine { automaton; state = Ar_automaton.initial automaton }
+  in
+  let monitor = make name engine (Ar_automaton.props automaton) binding in
+  monitor.last_verdict <- engine_verdict engine;
+  monitor
+
+let of_il ~name il ~binding =
+  let engine = Il_engine { il; state = il.Il.initial } in
+  let monitor = make name engine il.Il.props binding in
+  monitor.last_verdict <- engine_verdict engine;
+  monitor
+
+let name monitor = monitor.m_name
+let verdict monitor = monitor.last_verdict
+let steps monitor = monitor.step_count
+
+(* Sample every supporting proposition exactly once per step. *)
+let sample_all monitor =
+  Array.map (fun sampler -> sampler ()) monitor.samplers
+
+let mask_of_samples samples =
+  let mask = ref 0 in
+  Array.iteri (fun i value -> if value then mask := !mask lor (1 lsl i)) samples;
+  !mask
+
+let step monitor =
+  if Verdict.is_final monitor.last_verdict then begin
+    monitor.step_count <- monitor.step_count + 1;
+    monitor.last_verdict
+  end
+  else begin
+    let samples = sample_all monitor in
+    (match monitor.engine with
+    | Formula_engine e ->
+      let valuation name =
+        let rec find i =
+          if i >= Array.length monitor.support then
+            invalid_arg ("Monitor: proposition not in support: " ^ name)
+          else if String.equal monitor.support.(i) name then samples.(i)
+          else find (i + 1)
+        in
+        find 0
+      in
+      e.current <- Progression.step e.current valuation
+    | Automaton_engine e ->
+      e.state <- Ar_automaton.next e.automaton e.state (mask_of_samples samples)
+    | Il_engine e -> e.state <- Il.next e.il e.state (mask_of_samples samples));
+    monitor.step_count <- monitor.step_count + 1;
+    monitor.last_verdict <- engine_verdict monitor.engine;
+    monitor.last_verdict
+  end
+
+let finalize ?(strong = false) monitor =
+  match monitor.engine with
+  | Formula_engine e -> Progression.finalize ~strong e.current
+  | Automaton_engine e ->
+    Progression.finalize ~strong
+      (Ar_automaton.state_formula e.automaton e.state)
+  | Il_engine _ -> monitor.last_verdict
+
+let reset monitor =
+  (match monitor.engine with
+  | Formula_engine e -> e.current <- e.initial
+  | Automaton_engine e -> e.state <- Ar_automaton.initial e.automaton
+  | Il_engine e -> e.state <- e.il.Il.initial);
+  monitor.step_count <- 0;
+  monitor.last_verdict <- engine_verdict monitor.engine

@@ -1,0 +1,43 @@
+(** Executable property monitors.
+
+    A monitor binds a property to the system under verification through a
+    name-resolution function (typically {!Proposition.Table.binding}) and is
+    stepped once per trigger — a clock edge in the paper's approach 1, a
+    program-counter event in approach 2. Each step samples every supporting
+    proposition exactly once (so stateful propositions advance uniformly)
+    and advances the AR-automaton.
+
+    Two engines are provided: the explicit pre-synthesized AR-automaton
+    ([of_automaton]/[of_il]) and on-the-fly formula progression
+    ([of_formula]); they compute identical verdicts. *)
+
+type t
+
+val of_formula :
+  name:string -> Formula.t -> binding:(string -> unit -> bool) -> t
+(** On-the-fly engine. *)
+
+val of_automaton :
+  name:string -> Ar_automaton.t -> binding:(string -> unit -> bool) -> t
+(** Explicit engine. *)
+
+val of_il : name:string -> Il.t -> binding:(string -> unit -> bool) -> t
+(** Explicit engine driven by an IL description. *)
+
+val name : t -> string
+
+val step : t -> Verdict.t
+(** Sample propositions, advance, and return the verdict after this step.
+    Once the verdict is final ({!Verdict.is_final}), further steps are
+    no-ops. *)
+
+val verdict : t -> Verdict.t
+val steps : t -> int
+
+val finalize : ?strong:bool -> t -> Verdict.t
+(** End-of-trace verdict, see {!Progression.finalize}. For explicit engines
+    built from IL the obligation formula is unavailable, so a pending IL
+    monitor finalizes to [Pending] regardless of [strong]. *)
+
+val reset : t -> unit
+(** Return to the initial state and step count 0. *)

@@ -1,0 +1,82 @@
+module F = Formula
+
+(* Progression is homomorphic in the boolean connectives and unfolds the
+   temporal operators by one step; smart constructors collapse True/False
+   eagerly, so the result is the canonical successor obligation. *)
+let rec step f valuation =
+  match f.F.node with
+  | F.True -> F.tru
+  | F.False -> F.fls
+  | F.Prop name -> if valuation name then F.tru else F.fls
+  | F.Not g -> F.not_ (step g valuation)
+  | F.And (a, b) -> F.and_ (step a valuation) (step b valuation)
+  | F.Or (a, b) -> F.or_ (step a valuation) (step b valuation)
+  | F.Next g -> g
+  | F.Finally (bound, g) ->
+    let now = step g valuation in
+    let later =
+      match bound with
+      | None -> F.finally None g
+      | Some 0 -> F.fls
+      | Some b -> F.finally (Some (b - 1)) g
+    in
+    F.or_ now later
+  | F.Globally (bound, g) ->
+    let now = step g valuation in
+    let later =
+      match bound with
+      | None -> F.globally None g
+      | Some 0 -> F.tru
+      | Some b -> F.globally (Some (b - 1)) g
+    in
+    F.and_ now later
+  | F.Until (bound, l, r) ->
+    let right_now = step r valuation in
+    let left_now = step l valuation in
+    let later =
+      match bound with
+      | None -> F.until None l r
+      | Some 0 -> F.fls
+      | Some b -> F.until (Some (b - 1)) l r
+    in
+    F.or_ right_now (F.and_ left_now later)
+  | F.Release (bound, l, r) ->
+    let right_now = step r valuation in
+    let left_now = step l valuation in
+    let later =
+      match bound with
+      | None -> F.release None l r
+      | Some 0 -> F.tru
+      | Some b -> F.release (Some (b - 1)) l r
+    in
+    F.and_ right_now (F.or_ left_now later)
+
+let verdict f =
+  if F.equal f F.tru then Verdict.True
+  else if F.equal f F.fls then Verdict.False
+  else Verdict.Pending
+
+(* End-of-trace evaluation: the residual obligation is interpreted over the
+   empty suffix (LTL over possibly-empty words): propositions, X, F and U
+   are false there, G and R are vacuously true, and negation flips. *)
+let rec eval_empty_suffix f =
+  match f.F.node with
+  | F.True -> true
+  | F.False -> false
+  | F.Prop _ -> false
+  | F.Not g -> not (eval_empty_suffix g)
+  | F.And (a, b) -> eval_empty_suffix a && eval_empty_suffix b
+  | F.Or (a, b) -> eval_empty_suffix a || eval_empty_suffix b
+  | F.Next _ -> false
+  | F.Finally _ -> false
+  | F.Globally _ -> true
+  | F.Until _ -> false
+  | F.Release _ -> true
+
+let finalize ?(strong = false) f =
+  match verdict f with
+  | (Verdict.True | Verdict.False) as final -> final
+  | Verdict.Pending ->
+    if not strong then Verdict.Pending
+    else if eval_empty_suffix f then Verdict.True
+    else Verdict.False

@@ -1,0 +1,22 @@
+(** Formula progression: the on-the-fly AR-automaton.
+
+    [step f v] rewrites formula [f] into the obligation that the remainder
+    of the trace must satisfy, given that the current state assigns
+    proposition values per valuation [v]. Progressing to [Formula.tru]
+    corresponds to entering an Accept state of the AR-automaton, to
+    [Formula.fls] a Reject state, anything else is Pending. Bounded
+    operators count down: [F[b] f] becomes [F[b-1] f] when [f] does not
+    hold now, and rejects at bound zero. *)
+
+val step : Formula.t -> (string -> bool) -> Formula.t
+
+val verdict : Formula.t -> Verdict.t
+(** [True] iff the formula is the constant true, [False] iff constant false,
+    [Pending] otherwise. *)
+
+(** Verdict at end-of-trace. With [~strong:true], outstanding eventualities
+    ([X], [F], [U], and propositions about unseen states) are counted as
+    violated, while [G]/[R] obligations are discharged — standard strong
+    LTL-on-finite-trace semantics. With [~strong:false] (default) a pending
+    formula simply stays [Pending], matching the paper's AR-automata. *)
+val finalize : ?strong:bool -> Formula.t -> Verdict.t

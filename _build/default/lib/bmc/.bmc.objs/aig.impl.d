@@ -1,0 +1,1 @@
+lib/bmc/aig.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/bmc/bitvec.ml: Aig Array List Minic Option Printf

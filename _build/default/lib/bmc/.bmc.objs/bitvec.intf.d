@@ -1,0 +1,1 @@
+lib/bmc/bitvec.mli: Aig

@@ -1,0 +1,1 @@
+lib/bmc/bmc.ml: Aig Array Bitvec List Minic Printf Sat Symexec Unix

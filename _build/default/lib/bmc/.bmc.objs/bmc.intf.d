@@ -1,0 +1,1 @@
+lib/bmc/bmc.mli: Minic Sat

@@ -1,0 +1,1 @@
+lib/bmc/sat.ml: Array Int List Option Unix

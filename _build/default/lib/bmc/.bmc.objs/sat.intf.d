@@ -1,0 +1,1 @@
+lib/bmc/sat.mli:

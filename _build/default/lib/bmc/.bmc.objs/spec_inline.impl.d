@@ -1,0 +1,1 @@
+lib/bmc/spec_inline.ml: Ar_automaton Array Formula Hashtbl List Minic Option Printf String

@@ -1,0 +1,1 @@
+lib/bmc/spec_inline.mli: Formula Minic

@@ -1,0 +1,1 @@
+lib/bmc/symexec.ml: Aig Array Bitvec List Map Minic Option Printf String Unix

@@ -1,0 +1,1 @@
+lib/bmc/symexec.mli: Aig Bitvec Minic

@@ -1,0 +1,150 @@
+type t = Aig.lit array
+
+let width = 32
+
+let const value =
+  let u = value land 0xFFFFFFFF in
+  Array.init width (fun i ->
+      if (u lsr i) land 1 = 1 then Aig.true_ else Aig.false_)
+
+let fresh graph name =
+  Array.init width (fun i ->
+      Aig.fresh_input graph (Printf.sprintf "%s.%d" name i))
+
+let to_const bv =
+  let rec build i acc =
+    if i >= width then Some acc
+    else if bv.(i) = Aig.true_ then build (i + 1) (acc lor (1 lsl i))
+    else if bv.(i) = Aig.false_ then build (i + 1) acc
+    else None
+  in
+  Option.map Minic.Value.wrap (build 0 0)
+
+(* full adder chain with carry-in *)
+let adder graph a b carry_in =
+  let result = Array.make width Aig.false_ in
+  let carry = ref carry_in in
+  for i = 0 to width - 1 do
+    let axb = Aig.xor_ graph a.(i) b.(i) in
+    result.(i) <- Aig.xor_ graph axb !carry;
+    carry :=
+      Aig.or_ graph (Aig.and_ graph a.(i) b.(i)) (Aig.and_ graph axb !carry)
+  done;
+  (result, !carry)
+
+let add graph a b = fst (adder graph a b Aig.false_)
+let lognot _graph a = Array.map Aig.neg a
+let sub graph a b = fst (adder graph a (Array.map Aig.neg b) Aig.true_)
+let neg graph a = sub graph (const 0) a
+
+let logand graph a b = Array.init width (fun i -> Aig.and_ graph a.(i) b.(i))
+let logor graph a b = Array.init width (fun i -> Aig.or_ graph a.(i) b.(i))
+let logxor graph a b = Array.init width (fun i -> Aig.xor_ graph a.(i) b.(i))
+
+let mux graph sel a b = Array.init width (fun i -> Aig.mux graph sel a.(i) b.(i))
+
+let of_bool bit =
+  Array.init width (fun i -> if i = 0 then bit else Aig.false_)
+
+let is_zero graph bv =
+  Aig.neg (Aig.disj graph (Array.to_list bv))
+
+let truthy graph bv = Aig.disj graph (Array.to_list bv)
+
+let eq graph a b =
+  Aig.conj graph
+    (List.init width (fun i -> Aig.iff graph a.(i) b.(i)))
+
+let ne graph a b = Aig.neg (eq graph a b)
+
+(* signed less-than via subtraction: a < b iff (a - b) negative, corrected
+   for overflow: lt = (sign a & !sign b) | (sign equal & sign (a-b)) *)
+let lt_signed graph a b =
+  let diff = sub graph a b in
+  let sa = a.(width - 1) and sb = b.(width - 1) in
+  let sign_diff = diff.(width - 1) in
+  Aig.or_ graph
+    (Aig.and_ graph sa (Aig.neg sb))
+    (Aig.and_ graph (Aig.iff graph sa sb) sign_diff)
+
+let le_signed graph a b = Aig.neg (lt_signed graph b a)
+
+(* shift-add multiplier (low 32 bits) *)
+let mul graph a b =
+  let acc = ref (const 0) in
+  let shifted = ref a in
+  for i = 0 to width - 1 do
+    let partial =
+      Array.map (fun bit -> Aig.and_ graph bit b.(i)) !shifted
+    in
+    acc := add graph !acc partial;
+    (* shift [shifted] left by one *)
+    shifted :=
+      Array.init width (fun j -> if j = 0 then Aig.false_ else !shifted.(j - 1))
+  done;
+  !acc
+
+(* barrel shifters: the amount's low 5 bits select staged shifts *)
+let barrel graph shift_stage a amount =
+  let result = ref a in
+  for stage = 0 to 4 do
+    let sel = amount.(stage) in
+    let shifted = shift_stage !result (1 lsl stage) in
+    result := mux graph sel shifted !result
+  done;
+  !result
+
+let shift_left graph a amount =
+  let stage v k =
+    Array.init width (fun i -> if i < k then Aig.false_ else v.(i - k))
+  in
+  barrel graph stage a amount
+
+let shift_right_logical graph a amount =
+  let stage v k =
+    Array.init width (fun i ->
+        if i + k < width then v.(i + k) else Aig.false_)
+  in
+  barrel graph stage a amount
+
+let shift_right_arith graph a amount =
+  let sign = a.(width - 1) in
+  let stage v k =
+    Array.init width (fun i -> if i + k < width then v.(i + k) else sign)
+  in
+  barrel graph stage a amount
+
+(* unsigned restoring division: returns (quotient, remainder) *)
+let divrem_unsigned graph a b =
+  let quotient = Array.make width Aig.false_ in
+  (* remainder accumulates from the top bit down *)
+  let remainder = ref (const 0) in
+  for i = width - 1 downto 0 do
+    (* remainder = (remainder << 1) | a.(i) *)
+    remainder :=
+      Array.init width (fun j ->
+          if j = 0 then a.(i) else !remainder.(j - 1));
+    (* if remainder >= b (unsigned) then subtract and set quotient bit *)
+    let diff, borrow_free = adder graph !remainder (Array.map Aig.neg b) Aig.true_ in
+    let ge = borrow_free in
+    quotient.(i) <- ge;
+    remainder := mux graph ge diff !remainder
+  done;
+  (quotient, !remainder)
+
+let divrem graph a b =
+  let sign_a = a.(width - 1) and sign_b = b.(width - 1) in
+  let abs_a = mux graph sign_a (neg graph a) a in
+  let abs_b = mux graph sign_b (neg graph b) b in
+  let uq, ur = divrem_unsigned graph abs_a abs_b in
+  let q_negative = Aig.xor_ graph sign_a sign_b in
+  let quotient = mux graph q_negative (neg graph uq) uq in
+  let remainder = mux graph sign_a (neg graph ur) ur in
+  (quotient, remainder)
+
+let eval graph ~assignment bv =
+  let value = ref 0 in
+  for i = 0 to width - 1 do
+    if Aig.eval graph ~assignment bv.(i) then value := !value lor (1 lsl i)
+  done;
+  Minic.Value.wrap !value

@@ -1,0 +1,354 @@
+type result = Sat of bool array | Unsat | Timeout
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  restarts : int;
+  learned : int;
+}
+
+(* internal literal encoding: 2*var + sign (sign 1 = negated); vars 1-based *)
+let lit_of_dimacs d = if d > 0 then 2 * d else (2 * -d) + 1
+let var_of_lit l = l lsr 1
+let lit_neg l = l lxor 1
+
+exception Found_empty_clause
+
+type solver = {
+  num_vars : int;
+  mutable clauses : int array array; (* clause store; learned appended *)
+  mutable num_clauses : int;
+  watches : int list array; (* literal -> clause indices watching it *)
+  assigns : int array; (* var -> -1 unassigned / 0 false / 1 true *)
+  level : int array;
+  reason : int array; (* var -> clause index or -1 *)
+  trail : int array;
+  mutable trail_size : int;
+  trail_lim : int array; (* decision level -> trail position *)
+  mutable decision_level : int;
+  activity : float array;
+  mutable var_inc : float;
+  seen : bool array;
+  mutable propagate_head : int;
+  mutable stat_decisions : int;
+  mutable stat_conflicts : int;
+  mutable stat_propagations : int;
+  mutable stat_restarts : int;
+  mutable stat_learned : int;
+}
+
+let create num_vars =
+  {
+    num_vars;
+    clauses = Array.make 256 [||];
+    num_clauses = 0;
+    watches = Array.make ((2 * num_vars) + 2) [];
+    assigns = Array.make (num_vars + 1) (-1);
+    level = Array.make (num_vars + 1) 0;
+    reason = Array.make (num_vars + 1) (-1);
+    trail = Array.make (num_vars + 1) 0;
+    trail_size = 0;
+    trail_lim = Array.make (num_vars + 2) 0;
+    decision_level = 0;
+    activity = Array.make (num_vars + 1) 0.0;
+    var_inc = 1.0;
+    seen = Array.make (num_vars + 1) false;
+    propagate_head = 0;
+    stat_decisions = 0;
+    stat_conflicts = 0;
+    stat_propagations = 0;
+    stat_restarts = 0;
+    stat_learned = 0;
+  }
+
+(* -1 unassigned / 0 false / 1 true, phase-adjusted *)
+let value_of_lit s l =
+  let v = s.assigns.(var_of_lit l) in
+  if v = -1 then -1 else if l land 1 = 0 then v else 1 - v
+
+let enqueue s l reason =
+  let v = var_of_lit l in
+  s.assigns.(v) <- (if l land 1 = 0 then 1 else 0);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let add_clause_to_store s clause =
+  if s.num_clauses = Array.length s.clauses then begin
+    let fresh = Array.make (2 * s.num_clauses) [||] in
+    Array.blit s.clauses 0 fresh 0 s.num_clauses;
+    s.clauses <- fresh
+  end;
+  s.clauses.(s.num_clauses) <- clause;
+  s.num_clauses <- s.num_clauses + 1;
+  let id = s.num_clauses - 1 in
+  if Array.length clause >= 2 then begin
+    s.watches.(lit_neg clause.(0)) <- id :: s.watches.(lit_neg clause.(0));
+    s.watches.(lit_neg clause.(1)) <- id :: s.watches.(lit_neg clause.(1))
+  end;
+  id
+
+(* propagate; returns conflicting clause id or -1 *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.propagate_head < s.trail_size do
+    let l = s.trail.(s.propagate_head) in
+    s.propagate_head <- s.propagate_head + 1;
+    s.stat_propagations <- s.stat_propagations + 1;
+    (* clauses watching l's falsification *)
+    let watching = s.watches.(l) in
+    s.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | id :: rest ->
+        let clause = s.clauses.(id) in
+        (* normalize: watched lits at positions 0/1; the false one at 1 *)
+        let falsified = lit_neg l in
+        if clause.(0) = falsified then begin
+          clause.(0) <- clause.(1);
+          clause.(1) <- falsified
+        end;
+        if value_of_lit s clause.(0) = 1 then begin
+          (* satisfied: keep watching *)
+          s.watches.(l) <- id :: s.watches.(l);
+          process rest
+        end
+        else begin
+          (* find a new watch *)
+          let found = ref false in
+          let i = ref 2 in
+          let len = Array.length clause in
+          while (not !found) && !i < len do
+            if value_of_lit s clause.(!i) <> 0 then begin
+              let w = clause.(!i) in
+              clause.(!i) <- clause.(1);
+              clause.(1) <- w;
+              s.watches.(lit_neg w) <- id :: s.watches.(lit_neg w);
+              found := true
+            end;
+            incr i
+          done;
+          if !found then process rest
+          else begin
+            (* unit or conflict *)
+            s.watches.(l) <- id :: s.watches.(l);
+            if value_of_lit s clause.(0) = 0 then begin
+              conflict := id;
+              (* keep the remaining watchers *)
+              List.iter
+                (fun rest_id -> s.watches.(l) <- rest_id :: s.watches.(l))
+                rest
+            end
+            else begin
+              enqueue s clause.(0) id;
+              process rest
+            end
+          end
+        end
+    in
+    process watching
+  done;
+  !conflict
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.num_vars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+(* first-UIP conflict analysis; returns (learned clause, backjump level) *)
+let analyze s conflict_id =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let clause_id = ref conflict_id in
+  let continue = ref true in
+  while !continue do
+    let clause = s.clauses.(!clause_id) in
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length clause - 1 do
+      let q = clause.(i) in
+      let v = var_of_lit q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        bump s v;
+        if s.level.(v) = s.decision_level then incr counter
+        else learned := q :: !learned
+      end
+    done;
+    (* pick the next literal to resolve on from the trail *)
+    let rec find_next () =
+      let l = s.trail.(!index) in
+      decr index;
+      if s.seen.(var_of_lit l) then l else find_next ()
+    in
+    let l = find_next () in
+    s.seen.(var_of_lit l) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := lit_neg l;
+      continue := false
+    end
+    else begin
+      clause_id := s.reason.(var_of_lit l);
+      p := l
+    end
+  done;
+  let learned_clause = Array.of_list (!p :: !learned) in
+  List.iter (fun q -> s.seen.(var_of_lit q) <- false) !learned;
+  (* backjump level: second highest level in the clause *)
+  let backjump = ref 0 in
+  for i = 1 to Array.length learned_clause - 1 do
+    let lv = s.level.(var_of_lit learned_clause.(i)) in
+    if lv > !backjump then backjump := lv
+  done;
+  (* move a literal of backjump level to position 1 for watching *)
+  if Array.length learned_clause > 1 then begin
+    let pos = ref 1 in
+    for i = 1 to Array.length learned_clause - 1 do
+      if s.level.(var_of_lit learned_clause.(i)) = !backjump then pos := i
+    done;
+    let tmp = learned_clause.(1) in
+    learned_clause.(1) <- learned_clause.(!pos);
+    learned_clause.(!pos) <- tmp
+  end;
+  (learned_clause, !backjump)
+
+(* trail_lim.(l) is the trail size just before level l's decision, i.e. the
+   end of level l-1; keeping levels <= target means cutting at
+   trail_lim.(target + 1) *)
+let backtrack s target_level =
+  if s.decision_level > target_level then begin
+    let bound = s.trail_lim.(target_level + 1) in
+    for i = s.trail_size - 1 downto bound do
+      let v = var_of_lit s.trail.(i) in
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- bound;
+    s.propagate_head <- bound;
+    s.decision_level <- target_level
+  end
+
+let pick_branch_var s =
+  let best = ref 0 and best_activity = ref neg_infinity in
+  for v = 1 to s.num_vars do
+    if s.assigns.(v) = -1 && s.activity.(v) > !best_activity then begin
+      best := v;
+      best_activity := s.activity.(v)
+    end
+  done;
+  !best
+
+let luby i =
+  (* Luby sequence: 1 1 2 1 1 2 4 ... *)
+  let rec go k i =
+    if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+    else if i < (1 lsl (k - 1)) - 1 then go (k - 1) i
+    else go (k - 1) (i - ((1 lsl (k - 1)) - 1))
+  in
+  let rec size k = if (1 lsl k) - 1 > i then k else size (k + 1) in
+  go (size 1) i
+
+let solve ?(timeout_seconds = infinity) ?(max_conflicts = max_int) ~num_vars
+    clause_list =
+  let s = create num_vars in
+  let stats () =
+    {
+      decisions = s.stat_decisions;
+      conflicts = s.stat_conflicts;
+      propagations = s.stat_propagations;
+      restarts = s.stat_restarts;
+      learned = s.stat_learned;
+    }
+  in
+  let deadline = Unix.gettimeofday () +. timeout_seconds in
+  match
+    (* load clauses: dedupe literals, detect tautologies and units *)
+    List.iter
+      (fun dimacs ->
+        let lits =
+          Array.to_list dimacs |> List.sort_uniq Int.compare
+          |> List.map lit_of_dimacs
+        in
+        let tautology =
+          List.exists (fun l -> List.mem (lit_neg l) lits) lits
+        in
+        if not tautology then
+          match lits with
+          | [] -> raise Found_empty_clause
+          | [ l ] ->
+            (match value_of_lit s l with
+            | 1 -> ()
+            | 0 -> raise Found_empty_clause
+            | _ ->
+              enqueue s l (-1);
+              ())
+          | _ -> ignore (add_clause_to_store s (Array.of_list lits)))
+      clause_list
+  with
+  | exception Found_empty_clause -> (Unsat, stats ())
+  | () ->
+    if propagate s >= 0 then (Unsat, stats ())
+    else begin
+      let result = ref None in
+      let conflicts_until_restart = ref (100 * luby 1) in
+      let restart_count = ref 1 in
+      while !result = None do
+        if s.stat_conflicts > max_conflicts then result := Some Timeout
+        else if
+          s.stat_conflicts land 1023 = 0 && Unix.gettimeofday () > deadline
+        then result := Some Timeout
+        else begin
+          let conflict = propagate s in
+          if conflict >= 0 then begin
+            s.stat_conflicts <- s.stat_conflicts + 1;
+            s.var_inc <- s.var_inc /. 0.95;
+            if s.decision_level = 0 then result := Some Unsat
+            else begin
+              let learned_clause, backjump = analyze s conflict in
+              backtrack s backjump;
+              if Array.length learned_clause = 1 then
+                enqueue s learned_clause.(0) (-1)
+              else begin
+                let id = add_clause_to_store s learned_clause in
+                s.stat_learned <- s.stat_learned + 1;
+                enqueue s learned_clause.(0) id
+              end;
+              decr conflicts_until_restart;
+              if !conflicts_until_restart <= 0 then begin
+                incr restart_count;
+                s.stat_restarts <- s.stat_restarts + 1;
+                conflicts_until_restart := 100 * luby !restart_count;
+                backtrack s 0
+              end
+            end
+          end
+          else begin
+            let v = pick_branch_var s in
+            if v = 0 then begin
+              (* all assigned: model *)
+              let model = Array.make (num_vars + 1) false in
+              for i = 1 to num_vars do
+                model.(i) <- s.assigns.(i) = 1
+              done;
+              result := Some (Sat model)
+            end
+            else begin
+              s.stat_decisions <- s.stat_decisions + 1;
+              s.decision_level <- s.decision_level + 1;
+              s.trail_lim.(s.decision_level) <- s.trail_size;
+              (* phase: default false *)
+              enqueue s ((2 * v) + 1) (-1)
+            end
+          end
+        end
+      done;
+      (Option.get !result, stats ())
+    end

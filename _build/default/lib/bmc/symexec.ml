@@ -1,0 +1,629 @@
+module Ast = Minic.Ast
+module SMap = Map.Make (String)
+
+type condition = {
+  vc_name : string;
+  vc_pos : Ast.position;
+  vc_lit : Aig.lit;
+}
+
+type encoded = {
+  graph : Aig.t;
+  conditions : condition list;
+  assumptions : Aig.lit;
+  inputs : (string * Bitvec.t) list;
+  complete : bool;
+  statements_encoded : int;
+}
+
+exception Unsupported of string * Ast.position
+exception Too_large of int
+exception Deadline_reached
+
+type env = {
+  scalars : Bitvec.t SMap.t;
+  arrays : Bitvec.t array SMap.t;
+}
+
+type state = { guard : Aig.lit; env : env }
+
+type exits = {
+  fall : state option;
+  brks : state list;
+  conts : state list;
+  rets : (state * Bitvec.t) list;
+}
+
+let no_exits = { fall = None; brks = []; conts = []; rets = [] }
+
+type ctx = {
+  graph : Aig.t;
+  info : Minic.Typecheck.info;
+  unwind : int;
+  recursion_limit : int;
+  max_nodes : int;
+  deadline : float;
+  mutable conditions : condition list;
+  mutable assumptions : Aig.lit;
+  mutable inputs : (string * Bitvec.t) list;
+  mutable memory_log : (Aig.lit * Bitvec.t * Bitvec.t) list; (* newest first *)
+  mutable complete : bool;
+  mutable fresh_counter : int;
+  mutable stmt_count : int;
+}
+
+let fresh_name ctx base =
+  ctx.fresh_counter <- ctx.fresh_counter + 1;
+  Printf.sprintf "%s#%d" base ctx.fresh_counter
+
+let check_budget ctx =
+  if Aig.num_nodes ctx.graph > ctx.max_nodes then
+    raise (Too_large (Aig.num_nodes ctx.graph));
+  if ctx.stmt_count land 255 = 0 && Unix.gettimeofday () > ctx.deadline then
+    raise Deadline_reached
+
+(* ------------------------------------------------------------------ *)
+(* environment merging *)
+
+let mux_env ctx sel env_then env_else =
+  let g = ctx.graph in
+  let scalars =
+    SMap.merge
+      (fun _name a b ->
+        match a, b with
+        | Some va, Some vb ->
+          if va == vb then Some va else Some (Bitvec.mux g sel va vb)
+        | Some va, None -> Some va
+        | None, Some vb -> Some vb
+        | None, None -> None)
+      env_then.scalars env_else.scalars
+  in
+  let arrays =
+    SMap.merge
+      (fun _name a b ->
+        match a, b with
+        | Some va, Some vb ->
+          if va == vb then Some va
+          else
+            Some (Array.init (Array.length va) (fun i ->
+                Bitvec.mux g sel va.(i) vb.(i)))
+        | Some va, None -> Some va
+        | None, Some vb -> Some vb
+        | None, None -> None)
+      env_then.arrays env_else.arrays
+  in
+  { scalars; arrays }
+
+(* combine two disjointly-guarded states *)
+let merge_states ctx s1 s2 =
+  {
+    guard = Aig.or_ ctx.graph s1.guard s2.guard;
+    env = mux_env ctx s1.guard s1.env s2.env;
+  }
+
+let merge_state_list ctx states =
+  match List.filter (fun s -> s.guard <> Aig.false_) states with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left (merge_states ctx) first rest)
+
+let merge_value_list ctx pairs =
+  (* (state, value) list -> (merged state, merged value) *)
+  match List.filter (fun (s, _) -> s.guard <> Aig.false_) pairs with
+  | [] -> None
+  | (s0, v0) :: rest ->
+    Some
+      (List.fold_left
+         (fun (sa, va) (sb, vb) ->
+           ( merge_states ctx sa sb,
+             if va == vb then va else Bitvec.mux ctx.graph sa.guard va vb ))
+         (s0, v0) rest)
+
+(* ------------------------------------------------------------------ *)
+(* memory model: guarded write log, mux-chain reads *)
+
+let memory_write ctx state addr value =
+  ctx.memory_log <- (state.guard, addr, value) :: ctx.memory_log
+
+let memory_read ctx addr =
+  let g = ctx.graph in
+  List.fold_left
+    (fun acc (wg, waddr, wvalue) ->
+      let hit = Aig.and_ g wg (Bitvec.eq g addr waddr) in
+      Bitvec.mux g hit wvalue acc)
+    (Bitvec.const 0)
+    (List.rev ctx.memory_log)
+
+(* ------------------------------------------------------------------ *)
+
+let add_condition ctx name pos lit =
+  if lit <> Aig.false_ then
+    ctx.conditions <- { vc_name = name; vc_pos = pos; vc_lit = lit } :: ctx.conditions
+
+let assume ctx state lit =
+  ctx.assumptions <-
+    Aig.and_ ctx.graph ctx.assumptions (Aig.implies ctx.graph state.guard lit)
+
+let lookup_scalar state name =
+  SMap.find_opt name state.env.scalars
+
+let set_scalar state name value =
+  { state with env = { state.env with scalars = SMap.add name value state.env.scalars } }
+
+let set_array state name value =
+  { state with env = { state.env with arrays = SMap.add name value state.env.arrays } }
+
+(* scope: source-level name -> unique scalar key *)
+let resolve scope name = match SMap.find_opt name scope with
+  | Some unique -> unique
+  | None -> name
+
+(* ------------------------------------------------------------------ *)
+
+let rec eval ctx scope depth state (e : Ast.expr) : state * Bitvec.t =
+  check_budget ctx;
+  let g = ctx.graph in
+  let pos = e.Ast.epos in
+  match e.Ast.edesc with
+  | Ast.Int_lit v -> (state, Bitvec.const v)
+  | Ast.Bool_lit b -> (state, Bitvec.const (if b then 1 else 0))
+  | Ast.Var name -> (
+    let key = resolve scope name in
+    match lookup_scalar state key with
+    | Some value -> (state, value)
+    | None -> (
+      match Minic.Typecheck.const_value ctx.info name with
+      | Some v -> (state, Bitvec.const v)
+      | None ->
+        raise (Unsupported ("unbound variable " ^ name, pos))))
+  | Ast.Index (name, index_expr) -> (
+    let state, index = eval ctx scope depth state index_expr in
+    match SMap.find_opt name state.env.arrays with
+    | None -> raise (Unsupported ("unknown array " ^ name, pos))
+    | Some elements ->
+      let n = Array.length elements in
+      let in_bounds =
+        Aig.and_ g
+          (Bitvec.le_signed g (Bitvec.const 0) index)
+          (Bitvec.lt_signed g index (Bitvec.const n))
+      in
+      add_condition ctx
+        (Printf.sprintf "array bounds on %s" name)
+        pos
+        (Aig.and_ g state.guard (Aig.neg in_bounds));
+      (* mux chain over the elements *)
+      let value = ref (Bitvec.const 0) in
+      for i = n - 1 downto 0 do
+        let hit = Bitvec.eq g index (Bitvec.const i) in
+        value := Bitvec.mux g hit elements.(i) !value
+      done;
+      (state, !value))
+  | Ast.Unop (op, inner) -> (
+    let state, v = eval ctx scope depth state inner in
+    match op with
+    | Ast.Neg -> (state, Bitvec.neg g v)
+    | Ast.Bitnot -> (state, Bitvec.lognot g v)
+    | Ast.Lognot -> (state, Bitvec.of_bool (Aig.neg (Bitvec.truthy g v))))
+  | Ast.Binop (Ast.Land, a, b) ->
+    let state, va = eval ctx scope depth state a in
+    let ta = Bitvec.truthy g va in
+    let state, vb = eval_guarded ctx scope depth state ta b in
+    (state, Bitvec.of_bool (Aig.and_ g ta (Bitvec.truthy g vb)))
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let state, va = eval ctx scope depth state a in
+    let ta = Bitvec.truthy g va in
+    let state, vb = eval_guarded ctx scope depth state (Aig.neg ta) b in
+    (state, Bitvec.of_bool (Aig.or_ g ta (Bitvec.truthy g vb)))
+  | Ast.Binop (op, a, b) -> (
+    let state, va = eval ctx scope depth state a in
+    let state, vb = eval ctx scope depth state b in
+    match op with
+    | Ast.Add -> (state, Bitvec.add g va vb)
+    | Ast.Sub -> (state, Bitvec.sub g va vb)
+    | Ast.Mul -> (state, Bitvec.mul g va vb)
+    | Ast.Div | Ast.Mod ->
+      add_condition ctx "division by zero" pos
+        (Aig.and_ g state.guard (Bitvec.is_zero g vb));
+      let q, r = Bitvec.divrem g va vb in
+      (state, if op = Ast.Div then q else r)
+    | Ast.Band -> (state, Bitvec.logand g va vb)
+    | Ast.Bor -> (state, Bitvec.logor g va vb)
+    | Ast.Bxor -> (state, Bitvec.logxor g va vb)
+    | Ast.Shl -> (state, Bitvec.shift_left g va vb)
+    | Ast.Shr -> (state, Bitvec.shift_right_arith g va vb)
+    | Ast.Lt -> (state, Bitvec.of_bool (Bitvec.lt_signed g va vb))
+    | Ast.Le -> (state, Bitvec.of_bool (Bitvec.le_signed g va vb))
+    | Ast.Gt -> (state, Bitvec.of_bool (Bitvec.lt_signed g vb va))
+    | Ast.Ge -> (state, Bitvec.of_bool (Bitvec.le_signed g vb va))
+    | Ast.Eq -> (state, Bitvec.of_bool (Bitvec.eq g va vb))
+    | Ast.Ne -> (state, Bitvec.of_bool (Bitvec.ne g va vb))
+    | Ast.Land | Ast.Lor -> assert false)
+  | Ast.Nondet (lo_expr, hi_expr) ->
+    let state, lo = eval ctx scope depth state lo_expr in
+    let state, hi = eval ctx scope depth state hi_expr in
+    let name = fresh_name ctx "nondet" in
+    let input = Bitvec.fresh g name in
+    ctx.inputs <- (name, input) :: ctx.inputs;
+    assume ctx state
+      (Aig.and_ g
+         (Bitvec.le_signed g lo input)
+         (Bitvec.le_signed g input hi));
+    (state, input)
+  | Ast.Mem_read addr_expr ->
+    let state, addr = eval ctx scope depth state addr_expr in
+    (state, memory_read ctx addr)
+  | Ast.Call (name, args) ->
+    let state, args =
+      List.fold_left
+        (fun (state, acc) arg ->
+          let state, v = eval ctx scope depth state arg in
+          (state, v :: acc))
+        (state, []) args
+    in
+    let args = List.rev args in
+    exec_call ctx depth state name args pos
+
+(* evaluate under an extra guard; side effects outside the guard are
+   cancelled by muxing the environment back *)
+and eval_guarded ctx scope depth state cond expr =
+  let inner = { state with guard = Aig.and_ ctx.graph state.guard cond } in
+  let after, value = eval ctx scope depth inner expr in
+  ( { guard = state.guard; env = mux_env ctx cond after.env state.env },
+    value )
+
+and exec_call ctx depth state name args pos =
+  if depth >= ctx.recursion_limit then begin
+    ctx.complete <- false;
+    (* path abandoned beyond the recursion bound *)
+    ({ state with guard = Aig.false_ }, Bitvec.const 0)
+  end
+  else begin
+    let func =
+      match Ast.find_func (Minic.Typecheck.program ctx.info) name with
+      | Some f -> f
+      | None -> raise (Unsupported ("call to unknown function " ^ name, pos))
+    in
+    (* bind parameters as fresh renamed scalars *)
+    let instance = fresh_name ctx name in
+    let scope, state =
+      List.fold_left2
+        (fun (scope, state) (param, _typ) value ->
+          let key = instance ^ "." ^ param in
+          (SMap.add param key scope, set_scalar state key value))
+        (SMap.empty, state) func.Ast.f_params args
+    in
+    let exits = exec_stmts ctx scope (depth + 1) state func.Ast.f_body in
+    let outcomes =
+      (match exits.fall with
+      | Some s -> [ (s, Bitvec.const 0) ] (* fell off the end: returns 0 *)
+      | None -> [])
+      @ List.map (fun (s, v) -> (s, v)) exits.rets
+    in
+    assert (exits.brks = [] && exits.conts = []);
+    match merge_value_list ctx outcomes with
+    | Some (merged, value) -> (merged, value)
+    | None ->
+      (* no path returns (e.g. halt on all paths) *)
+      ({ state with guard = Aig.false_ }, Bitvec.const 0)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+and exec_stmts ctx scope depth state stmts =
+  (* thread the scope through declarations; collect exits *)
+  let rec go scope state_opt acc = function
+    | [] -> { acc with fall = state_opt }
+    | stmt :: rest -> (
+      match state_opt with
+      | None -> { acc with fall = None }
+      | Some state ->
+        let scope, exits = exec ctx scope depth state stmt in
+        let acc =
+          {
+            acc with
+            brks = exits.brks @ acc.brks;
+            conts = exits.conts @ acc.conts;
+            rets = exits.rets @ acc.rets;
+          }
+        in
+        go scope exits.fall acc rest)
+  in
+  go scope (Some state) no_exits stmts
+
+(* returns (updated scope, exits) — only Decl extends the scope *)
+and exec ctx scope depth state (s : Ast.stmt) : string SMap.t * exits =
+  check_budget ctx;
+  ctx.stmt_count <- ctx.stmt_count + 1;
+  let g = ctx.graph in
+  let pos = s.Ast.spos in
+  let just st = (scope, { no_exits with fall = Some st }) in
+  match s.Ast.sdesc with
+  | Ast.Block body ->
+    (scope, exec_stmts ctx scope depth state body)
+  | Ast.Decl (name, _typ, init) ->
+    let key = fresh_name ctx name in
+    let state, value =
+      match init with
+      | None -> (state, Bitvec.const 0)
+      | Some e -> eval ctx scope depth state e
+    in
+    (SMap.add name key scope, { no_exits with fall = Some (set_scalar state key value) })
+  | Ast.Expr e ->
+    let state, _ = eval ctx scope depth state e in
+    just state
+  | Ast.Assign (lhs, e) -> (
+    let state, value = eval ctx scope depth state e in
+    match lhs with
+    | Ast.Lvar name -> (
+      let key = resolve scope name in
+      match lookup_scalar state key with
+      | Some old ->
+        (* guarded assignment *)
+        let muxed = Bitvec.mux g state.guard value old in
+        just (set_scalar state key muxed)
+      | None ->
+        (* first write to a global: previous value is its initial value *)
+        raise (Unsupported ("assignment to unknown variable " ^ name, pos)))
+    | Ast.Lindex (name, index_expr) -> (
+      let state, index = eval ctx scope depth state index_expr in
+      match SMap.find_opt name state.env.arrays with
+      | None -> raise (Unsupported ("unknown array " ^ name, pos))
+      | Some elements ->
+        let n = Array.length elements in
+        let in_bounds =
+          Aig.and_ g
+            (Bitvec.le_signed g (Bitvec.const 0) index)
+            (Bitvec.lt_signed g index (Bitvec.const n))
+        in
+        add_condition ctx
+          (Printf.sprintf "array bounds on %s" name)
+          pos
+          (Aig.and_ g state.guard (Aig.neg in_bounds));
+        let updated =
+          Array.init n (fun i ->
+              let hit =
+                Aig.and_ g state.guard
+                  (Bitvec.eq g index (Bitvec.const i))
+              in
+              Bitvec.mux g hit value elements.(i))
+        in
+        just (set_array state name updated))
+    | Ast.Lmem addr_expr ->
+      let state, addr = eval ctx scope depth state addr_expr in
+      memory_write ctx state addr value;
+      just state)
+  | Ast.If (cond_expr, then_s, else_s) ->
+    let state, cond_v = eval ctx scope depth state cond_expr in
+    let c = Bitvec.truthy g cond_v in
+    let then_state = { state with guard = Aig.and_ g state.guard c } in
+    let else_state = { state with guard = Aig.and_ g state.guard (Aig.neg c) } in
+    let _, then_exits = exec ctx scope depth then_state then_s in
+    let else_exits =
+      match else_s with
+      | None -> { no_exits with fall = Some else_state }
+      | Some body ->
+        let _, exits = exec ctx scope depth else_state body in
+        exits
+    in
+    let fall =
+      merge_state_list ctx
+        (Option.to_list then_exits.fall @ Option.to_list else_exits.fall)
+    in
+    ( scope,
+      {
+        fall;
+        brks = then_exits.brks @ else_exits.brks;
+        conts = then_exits.conts @ else_exits.conts;
+        rets = then_exits.rets @ else_exits.rets;
+      } )
+  | Ast.While (cond_expr, body) ->
+    exec_loop ctx scope depth state ~cond:(Some cond_expr) ~body ~step:None pos
+  | Ast.Do_while (body, cond_expr) ->
+    (* run the body once, then behave like a while loop *)
+    let _, first = exec ctx scope depth state body in
+    let after_first =
+      merge_state_list ctx (Option.to_list first.fall @ first.conts)
+    in
+    let loop_exits =
+      match after_first with
+      | None -> no_exits
+      | Some st ->
+        snd (exec_loop ctx scope depth st ~cond:(Some cond_expr) ~body ~step:None pos)
+    in
+    ( scope,
+      {
+        fall =
+          merge_state_list ctx
+            (first.brks @ Option.to_list loop_exits.fall @ loop_exits.brks);
+        brks = [];
+        conts = [];
+        rets = first.rets @ loop_exits.rets;
+      } )
+  | Ast.For (init, cond_expr, step, body) ->
+    let scope', init_state =
+      match init with
+      | None -> (scope, { no_exits with fall = Some state })
+      | Some init_stmt ->
+        let scope', exits = exec ctx scope depth state init_stmt in
+        (scope', exits)
+    in
+    (match init_state.fall with
+    | None -> (scope, no_exits)
+    | Some st ->
+      let _, exits =
+        exec_loop ctx scope' depth st ~cond:cond_expr ~body ~step pos
+      in
+      (scope, exits))
+  | Ast.Switch (scrutinee, cases) ->
+    let state, value = eval ctx scope depth state scrutinee in
+    let case_match case =
+      List.fold_left
+        (fun acc label ->
+          match label with
+          | Ast.Case v -> Aig.or_ g acc (Bitvec.eq g value (Bitvec.const v))
+          | Ast.Default -> acc)
+        Aig.false_ case.Ast.labels
+    in
+    let matches = List.map case_match cases in
+    let any_match = Aig.disj g matches in
+    let entry_conds =
+      List.map2
+        (fun case m ->
+          if List.mem Ast.Default case.Ast.labels then
+            Aig.or_ g m (Aig.neg any_match)
+          else m)
+        cases matches
+    in
+    (* fall through segments *)
+    let acc = ref no_exits in
+    let active = ref None in
+    List.iter2
+      (fun case entry ->
+        let entry_state = { state with guard = Aig.and_ g state.guard entry } in
+        let combined =
+          merge_state_list ctx (entry_state :: Option.to_list !active)
+        in
+        match combined with
+        | None -> active := None
+        | Some st ->
+          let exits = exec_stmts ctx scope depth st case.Ast.body in
+          acc :=
+            {
+              !acc with
+              brks = exits.brks @ !acc.brks;
+              conts = exits.conts @ !acc.conts;
+              rets = exits.rets @ !acc.rets;
+            };
+          active := exits.fall)
+      cases entry_conds;
+    (* no case entered *)
+    let no_entry =
+      { state with guard = Aig.and_ g state.guard (Aig.neg (Aig.disj g entry_conds)) }
+    in
+    let fall =
+      merge_state_list ctx
+        (no_entry :: Option.to_list !active @ !acc.brks)
+    in
+    (scope, { fall; brks = []; conts = !acc.conts; rets = !acc.rets })
+  | Ast.Break -> (scope, { no_exits with brks = [ state ] })
+  | Ast.Continue -> (scope, { no_exits with conts = [ state ] })
+  | Ast.Return value_expr ->
+    let state, value =
+      match value_expr with
+      | None -> (state, Bitvec.const 0)
+      | Some e -> eval ctx scope depth state e
+    in
+    (scope, { no_exits with rets = [ (state, value) ] })
+  | Ast.Assert cond_expr ->
+    let state, v = eval ctx scope depth state cond_expr in
+    add_condition ctx "assertion" pos
+      (Aig.and_ g state.guard (Aig.neg (Bitvec.truthy g v)));
+    just state
+  | Ast.Assume cond_expr ->
+    let state, v = eval ctx scope depth state cond_expr in
+    assume ctx state (Bitvec.truthy g v);
+    (* execution continues only where the assumption holds *)
+    just { state with guard = Aig.and_ g state.guard (Bitvec.truthy g v) }
+  | Ast.Halt ->
+    (* program stops: model as a return that discards the value *)
+    (scope, { no_exits with rets = [ (state, Bitvec.const 0) ] })
+
+and exec_loop ctx scope depth state ~cond ~body ~step _pos =
+  let g = ctx.graph in
+  let exit_states = ref [] in
+  let escaped_rets = ref [] in
+  let rec iterate state iteration =
+    let state, c =
+      match cond with
+      | None -> (state, Aig.true_)
+      | Some e ->
+        let state, v = eval ctx scope depth state e in
+        (state, Bitvec.truthy g v)
+    in
+    exit_states :=
+      { state with guard = Aig.and_ g state.guard (Aig.neg c) } :: !exit_states;
+    let enter = { state with guard = Aig.and_ g state.guard c } in
+    if enter.guard = Aig.false_ then ()
+    else if iteration >= ctx.unwind then begin
+      (* unwinding bound hit: restrict to bounded executions *)
+      ctx.complete <- false;
+      ctx.assumptions <- Aig.and_ g ctx.assumptions (Aig.neg enter.guard)
+    end
+    else begin
+      let _, body_exits = exec ctx scope depth enter body in
+      exit_states := body_exits.brks @ !exit_states;
+      escaped_rets := body_exits.rets @ !escaped_rets;
+      let continue_states =
+        Option.to_list body_exits.fall @ body_exits.conts
+      in
+      match merge_state_list ctx continue_states with
+      | None -> ()
+      | Some next ->
+        let next =
+          match step with
+          | None -> next
+          | Some step_stmt -> (
+            let _, step_exits = exec ctx scope depth next step_stmt in
+            match step_exits.fall with
+            | Some st -> st
+            | None -> { next with guard = Aig.false_ })
+        in
+        if next.guard <> Aig.false_ then iterate next (iteration + 1)
+    end
+  in
+  iterate state 0;
+  ( scope,
+    {
+      fall = merge_state_list ctx !exit_states;
+      brks = [];
+      conts = [];
+      rets = !escaped_rets;
+    } )
+
+(* ------------------------------------------------------------------ *)
+
+let encode ?(unwind = 20) ?(recursion_limit = 16) ?(max_nodes = 20_000_000)
+    ?(deadline = infinity) info ~entry =
+  let graph = Aig.create () in
+  let ctx =
+    {
+      graph;
+      info;
+      unwind;
+      recursion_limit;
+      max_nodes;
+      deadline;
+      conditions = [];
+      assumptions = Aig.true_;
+      inputs = [];
+      memory_log = [];
+      complete = true;
+      fresh_counter = 0;
+      stmt_count = 0;
+    }
+  in
+  (* initial environment: globals at their initial values *)
+  let prog = Minic.Typecheck.program info in
+  let state = ref { guard = Aig.true_; env = { scalars = SMap.empty; arrays = SMap.empty } } in
+  List.iter
+    (fun (global : Ast.global) ->
+      if not global.Ast.g_const then
+        match global.Ast.g_type with
+        | Ast.Tarray n ->
+          state := set_array !state global.Ast.g_name (Array.make n (Bitvec.const 0))
+        | Ast.Tint | Ast.Tbool | Ast.Tvoid ->
+          let st, value =
+            match global.Ast.g_init with
+            | None -> (!state, Bitvec.const 0)
+            | Some e -> eval ctx SMap.empty 0 !state e
+          in
+          state := set_scalar st global.Ast.g_name value)
+    prog.Ast.globals;
+  let _, _ = exec_call ctx 0 !state entry [] Ast.dummy_pos in
+  {
+    graph;
+    conditions = List.rev ctx.conditions;
+    assumptions = ctx.assumptions;
+    inputs = ctx.inputs;
+    complete = ctx.complete;
+    statements_encoded = ctx.stmt_count;
+  }

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Buffer Cpu List Minic Option Printf Symtab

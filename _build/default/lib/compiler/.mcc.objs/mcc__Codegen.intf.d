@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Cpu Minic Symtab

@@ -1,0 +1,1 @@
+lib/compiler/symtab.ml: Cpu List Minic String

@@ -1,0 +1,1 @@
+lib/compiler/symtab.mli: Minic

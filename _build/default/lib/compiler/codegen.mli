@@ -1,0 +1,24 @@
+(** MiniC to ISA code generation.
+
+    The compiler emits assembly text (resolved by {!Cpu.Asm}), producing a
+    loadable word image plus the {!Symtab} debug information the ESW
+    monitor uses to locate variables in the processor memory.
+
+    Calling convention: arguments pushed left-to-right by the caller,
+    return value in [r13], frame pointer [r3], one word per local.
+    [nondet(lo, hi)] compiles to a read of the memory-mapped stimulus port
+    reduced into [lo..hi]; [assert]/[assume] failures execute [trap]
+    instructions; every function entry stores the function's id to the
+    [fname] tracking variable (paper Section 3.1 step c) unless
+    [~fname_tracking:false]. *)
+
+type compiled = {
+  asm_source : string;  (** generated assembly, for inspection *)
+  instructions : Cpu.Isa.instr list;
+  words : int list;  (** encoded image, load at address 0 *)
+  symtab : Symtab.t;
+}
+
+exception Codegen_error of string
+
+val compile : ?fname_tracking:bool -> Minic.Typecheck.info -> compiled

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Set String

@@ -1,0 +1,1 @@
+lib/core/trigger.ml: Checker Sim

@@ -1,0 +1,146 @@
+type engine = On_the_fly | Explicit | Via_il
+type syntax = Fltl | Psl
+
+type property = {
+  prop_name : string;
+  formula : Formula.t;
+  monitor : Monitor.t;
+  mutable violated_at : int option;
+}
+
+type t = {
+  c_name : string;
+  table : Proposition.Table.table;
+  mutable properties : property list; (* reversed insertion order *)
+  mutable step_count : int;
+  mutable synthesis_seconds : float;
+  mutable violation_callbacks : (string -> int -> unit) list;
+}
+
+let create ~name () =
+  {
+    c_name = name;
+    table = Proposition.Table.create ();
+    properties = [];
+    step_count = 0;
+    synthesis_seconds = 0.0;
+    violation_callbacks = [];
+  }
+
+let name checker = checker.c_name
+
+let register_proposition checker prop =
+  Proposition.Table.register checker.table prop
+
+let register_sampler checker name sampler =
+  register_proposition checker (Proposition.make name sampler)
+
+let proposition_names checker = Proposition.Table.names checker.table
+
+let property_names checker =
+  List.rev_map (fun p -> p.prop_name) checker.properties
+
+let check_support checker formula =
+  List.iter
+    (fun prop_name ->
+      match Proposition.Table.find checker.table prop_name with
+      | Some _ -> ()
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Checker.add_property: proposition %S is not registered"
+             prop_name))
+    (Formula.props formula)
+
+let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
+  if List.exists (fun p -> String.equal p.prop_name name) checker.properties
+  then invalid_arg (Printf.sprintf "Checker.add_property: duplicate %S" name);
+  check_support checker formula;
+  let binding = Proposition.Table.binding checker.table in
+  let monitor =
+    match engine with
+    | On_the_fly -> Monitor.of_formula ~name formula ~binding
+    | Explicit ->
+      let automaton = Ar_automaton.synthesize ?max_states formula in
+      checker.synthesis_seconds <-
+        checker.synthesis_seconds +. Ar_automaton.build_seconds automaton;
+      Monitor.of_automaton ~name automaton ~binding
+    | Via_il ->
+      let automaton = Ar_automaton.synthesize ?max_states formula in
+      checker.synthesis_seconds <-
+        checker.synthesis_seconds +. Ar_automaton.build_seconds automaton;
+      let il = Il.of_automaton ~name automaton in
+      (* round-trip through the textual IL, as the SCTC flow does *)
+      let il = Il.parse (Il.to_string il) in
+      Monitor.of_il ~name il ~binding
+  in
+  checker.properties <-
+    { prop_name = name; formula; monitor; violated_at = None }
+    :: checker.properties
+
+let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
+  let formula =
+    match syntax with Fltl -> Fltl_parser.parse text | Psl -> Psl.parse text
+  in
+  add_property ?engine ?max_states checker ~name formula
+
+let step checker =
+  checker.step_count <- checker.step_count + 1;
+  List.iter
+    (fun property ->
+      let before_final = Verdict.is_final (Monitor.verdict property.monitor) in
+      let verdict = Monitor.step property.monitor in
+      if
+        (not before_final)
+        && Verdict.equal verdict Verdict.False
+        && property.violated_at = None
+      then begin
+        property.violated_at <- Some checker.step_count;
+        List.iter
+          (fun callback -> callback property.prop_name checker.step_count)
+          checker.violation_callbacks
+      end)
+    (List.rev checker.properties)
+
+let steps checker = checker.step_count
+
+let verdict checker name =
+  match
+    List.find_opt
+      (fun p -> String.equal p.prop_name name)
+      checker.properties
+  with
+  | Some property -> Monitor.verdict property.monitor
+  | None -> raise Not_found
+
+let verdicts checker =
+  List.rev_map
+    (fun p -> (p.prop_name, Monitor.verdict p.monitor))
+    checker.properties
+
+let overall checker =
+  List.fold_left
+    (fun acc p -> Verdict.combine acc (Monitor.verdict p.monitor))
+    Verdict.True checker.properties
+
+let finalize ?strong checker =
+  List.rev_map
+    (fun p -> (p.prop_name, Monitor.finalize ?strong p.monitor))
+    checker.properties
+
+let reset checker =
+  checker.step_count <- 0;
+  List.iter
+    (fun p ->
+      Monitor.reset p.monitor;
+      p.violated_at <- None)
+    checker.properties;
+  List.iter
+    (fun prop_name ->
+      Proposition.reset (Proposition.Table.find_exn checker.table prop_name))
+    (Proposition.Table.names checker.table)
+
+let synthesis_seconds checker = checker.synthesis_seconds
+
+let on_violation checker callback =
+  checker.violation_callbacks <- callback :: checker.violation_callbacks

@@ -1,0 +1,88 @@
+(** The SystemC Temporal Checker (SCTC) core.
+
+    A checker owns a proposition table (the probes into the system under
+    verification), a set of temporal properties, and one executable monitor
+    per property. Each call to {!step} is one trigger of the checker — the
+    paper triggers it on the microprocessor clock (approach 1) or on the
+    program-counter event of the derived software model (approach 2). On
+    every trigger all registered propositions in the properties' support are
+    sampled once and every monitor advances its AR-automaton.
+
+    Properties can be given as {!Formula.t} values or as PSL / FLTL text;
+    the synthesis engine is selectable per property: on-the-fly progression,
+    an explicit pre-synthesized AR-automaton, or an automaton passed through
+    the IL representation (property → AR-automaton → IL → monitor, the full
+    paper pipeline). *)
+
+type t
+
+type engine =
+  | On_the_fly  (** formula progression, no synthesis cost *)
+  | Explicit  (** pre-synthesized AR-automaton *)
+  | Via_il  (** explicit automaton serialized to IL and re-parsed *)
+
+type syntax = Fltl | Psl
+
+val create : name:string -> unit -> t
+
+val name : t -> string
+
+(** {2 Propositions} *)
+
+val register_proposition : t -> Proposition.t -> unit
+(** @raise Invalid_argument on duplicate proposition names. *)
+
+val register_sampler : t -> string -> (unit -> bool) -> unit
+(** Convenience: register a stateless proposition from a sampler. *)
+
+val proposition_names : t -> string list
+
+(** {2 Properties} *)
+
+val add_property :
+  ?engine:engine -> ?max_states:int -> t -> name:string -> Formula.t -> unit
+(** @raise Invalid_argument if a proposition in the formula's support is not
+    registered, if the property name is already used, or if explicit
+    synthesis exceeds [max_states] (see {!Ar_automaton.Too_large}). *)
+
+val add_property_text :
+  ?engine:engine ->
+  ?max_states:int ->
+  ?syntax:syntax ->
+  t ->
+  name:string ->
+  string ->
+  unit
+(** Parse and add ([syntax] defaults to [Fltl]). *)
+
+val property_names : t -> string list
+
+(** {2 Monitoring} *)
+
+val step : t -> unit
+(** One trigger: advance every monitor by one observation step. *)
+
+val steps : t -> int
+
+val verdict : t -> string -> Verdict.t
+(** Current verdict of a property. @raise Not_found for unknown names. *)
+
+val verdicts : t -> (string * Verdict.t) list
+
+val overall : t -> Verdict.t
+(** {!Verdict.combine} over all properties. *)
+
+val finalize : ?strong:bool -> t -> (string * Verdict.t) list
+(** End-of-trace verdicts (does not mutate the checker). *)
+
+val reset : t -> unit
+(** Reset all monitors and stateful propositions to their initial states. *)
+
+val synthesis_seconds : t -> float
+(** Total explicit AR-automaton generation time accumulated by
+    [add_property] — the paper's "AR-automaton generation time" component
+    of verification time. *)
+
+val on_violation : t -> (string -> int -> unit) -> unit
+(** Install a callback invoked as [f property_name step] the first time a
+    property's verdict turns [False]. *)

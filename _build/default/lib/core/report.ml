@@ -1,0 +1,61 @@
+type row = {
+  row_name : string;
+  vt_seconds : float;
+  test_cases : int option;
+  coverage_pct : float option;
+  result : string;
+}
+
+let row ?test_cases ?coverage_pct name vt_seconds result =
+  { row_name = name; vt_seconds; test_cases; coverage_pct; result }
+
+let cell_of_column row = function
+  | "V.T.(s)" -> Printf.sprintf "%.3f" row.vt_seconds
+  | "T.C." -> (
+    match row.test_cases with None -> "-" | Some n -> string_of_int n)
+  | "C.(%)" -> (
+    match row.coverage_pct with
+    | None -> "-"
+    | Some p -> Printf.sprintf "%.1f" p)
+  | "Result" -> row.result
+  | other -> invalid_arg ("Report: unknown column " ^ other)
+
+let pp_table fmt ~title ~columns rows =
+  let headers = "Property" :: columns in
+  let body =
+    List.map
+      (fun row -> row.row_name :: List.map (cell_of_column row) columns)
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc cells -> max acc (String.length (List.nth cells i)))
+          (String.length header) body)
+      headers
+  in
+  let pad text width = text ^ String.make (width - String.length text) ' ' in
+  let render_line cells =
+    String.concat "  " (List.map2 pad cells widths)
+  in
+  Format.fprintf fmt "== %s ==@\n" title;
+  Format.fprintf fmt "%s@\n" (render_line headers);
+  Format.fprintf fmt "%s@\n"
+    (String.concat "  "
+       (List.map (fun width -> String.make width '-') widths));
+  List.iter (fun cells -> Format.fprintf fmt "%s@\n" (render_line cells)) body
+
+let to_string ~title ~columns rows =
+  Format.asprintf "%a" (fun fmt () -> pp_table fmt ~title ~columns rows) ()
+
+let csv rows =
+  let cell_option f = function None -> "" | Some v -> f v in
+  String.concat "\n"
+    (List.map
+       (fun row ->
+         Printf.sprintf "%s,%.6f,%s,%s,%s" row.row_name row.vt_seconds
+           (cell_option string_of_int row.test_cases)
+           (cell_option (Printf.sprintf "%.2f") row.coverage_pct)
+           row.result)
+       rows)

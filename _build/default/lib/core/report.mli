@@ -1,0 +1,26 @@
+(** Result-table rendering for the experiment harness.
+
+    The bench harness regenerates the paper's Fig. 7 and Fig. 8 as textual
+    tables; rows carry verification time, test-case count, coverage, and the
+    qualitative result. *)
+
+type row = {
+  row_name : string;  (** property / operation name *)
+  vt_seconds : float;  (** verification time (paper column "V.T.(s)") *)
+  test_cases : int option;  (** number of test cases (paper column "T.C.") *)
+  coverage_pct : float option;  (** return-value coverage (paper "C.(%)") *)
+  result : string;  (** e.g. "pass", "Exception", "> timeout" *)
+}
+
+val row :
+  ?test_cases:int -> ?coverage_pct:float -> string -> float -> string -> row
+
+val pp_table :
+  Format.formatter -> title:string -> columns:string list -> row list -> unit
+(** Render with a box-drawing header. [columns] selects among
+    ["V.T.(s)"; "T.C."; "C.(%)"; "Result"]. *)
+
+val to_string : title:string -> columns:string list -> row list -> string
+
+val csv : row list -> string
+(** Machine-readable dump (one line per row). *)

@@ -1,0 +1,28 @@
+let on_event kernel event checker =
+  let body () =
+    let rec loop () =
+      Sim.Kernel.wait_event event;
+      Checker.step checker;
+      loop ()
+    in
+    loop ()
+  in
+  Sim.Kernel.spawn kernel ~name:(Checker.name checker ^ ".trigger") body
+
+let on_clock kernel clock checker = on_event kernel (Sim.Clock.posedge clock) checker
+
+let on_event_when kernel event ~ready checker =
+  let body () =
+    let rec wait_ready () =
+      Sim.Kernel.wait_event event;
+      if not (ready ()) then wait_ready ()
+    in
+    wait_ready ();
+    let rec loop () =
+      Checker.step checker;
+      Sim.Kernel.wait_event event;
+      loop ()
+    in
+    loop ()
+  in
+  Sim.Kernel.spawn kernel ~name:(Checker.name checker ^ ".trigger") body

@@ -1,0 +1,1 @@
+lib/cpu/asm.ml: Encode Hashtbl Isa List Printf String

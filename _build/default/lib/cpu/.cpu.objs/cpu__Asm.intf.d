@@ -1,0 +1,1 @@
+lib/cpu/asm.mli: Isa

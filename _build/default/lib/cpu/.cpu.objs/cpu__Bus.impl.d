@@ -1,0 +1,1 @@
+lib/cpu/bus.ml: Int List Printf

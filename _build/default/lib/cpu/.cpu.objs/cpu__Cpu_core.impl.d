@@ -1,0 +1,1 @@
+lib/cpu/cpu_core.ml: Array Bus Encode Isa Minic

@@ -1,0 +1,1 @@
+lib/cpu/encode.ml: Isa

@@ -1,0 +1,1 @@
+lib/cpu/encode.mli: Isa

@@ -1,0 +1,1 @@
+lib/cpu/memory_map.ml:

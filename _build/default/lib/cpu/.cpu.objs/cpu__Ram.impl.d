@@ -1,0 +1,1 @@
+lib/cpu/ram.ml: Array Bus List Minic Printf

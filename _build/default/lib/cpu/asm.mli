@@ -1,0 +1,31 @@
+(** Two-pass assembler and disassembler.
+
+    Syntax (one instruction per line, [;] or [#] comments, [label:] on its
+    own or before an instruction):
+
+    {v
+      loop:  addi r4, r4, 1
+             lw   r5, 2(r2)
+             sw   r5, 0(r4)
+             bne  r4, r5, loop     ; labels resolve to relative offsets
+             jal  r1, subroutine
+             halt
+    v}
+
+    Branch/jump immediates may be written as numbers (already relative) or
+    as label names. *)
+
+exception Asm_error of string * int
+(** message and 1-based line number *)
+
+val assemble : string -> Isa.instr list
+(** @raise Asm_error on syntax errors or unknown labels. *)
+
+val assemble_with_labels : string -> Isa.instr list * (string * int) list
+(** Also returns every label with its resolved word address. *)
+
+val assemble_words : string -> int list
+(** Assembled and encoded. *)
+
+val disassemble : Isa.instr list -> string
+(** Inverse direction (without label reconstruction). *)

@@ -1,0 +1,131 @@
+exception Bad_instruction of int
+exception Immediate_out_of_range of Isa.instr
+
+let alu_code = function
+  | Isa.Add -> 0
+  | Isa.Sub -> 1
+  | Isa.Mul -> 2
+  | Isa.Div -> 3
+  | Isa.Rem -> 4
+  | Isa.And -> 5
+  | Isa.Or -> 6
+  | Isa.Xor -> 7
+  | Isa.Sll -> 8
+  | Isa.Srl -> 9
+  | Isa.Sra -> 10
+  | Isa.Slt -> 11
+  | Isa.Sle -> 12
+  | Isa.Seq -> 13
+
+let alu_of_code = function
+  | 0 -> Isa.Add
+  | 1 -> Isa.Sub
+  | 2 -> Isa.Mul
+  | 3 -> Isa.Div
+  | 4 -> Isa.Rem
+  | 5 -> Isa.And
+  | 6 -> Isa.Or
+  | 7 -> Isa.Xor
+  | 8 -> Isa.Sll
+  | 9 -> Isa.Srl
+  | 10 -> Isa.Sra
+  | 11 -> Isa.Slt
+  | 12 -> Isa.Sle
+  | 13 -> Isa.Seq
+  | code -> raise (Bad_instruction code)
+
+let branch_code = function Isa.Beq -> 0 | Isa.Bne -> 1 | Isa.Blt -> 2 | Isa.Bge -> 3
+
+let branch_of_code word = function
+  | 0 -> Isa.Beq
+  | 1 -> Isa.Bne
+  | 2 -> Isa.Blt
+  | 3 -> Isa.Bge
+  | _ -> raise (Bad_instruction word)
+
+(* opcode map:
+   0        nop
+   1        halt
+   2        trap
+   3        lui
+   4        jal
+   5        jalr
+   6        lw
+   7        sw
+   8..11    branches (beq bne blt bge)
+   16..29   ALU register forms
+   32..45   ALU immediate forms *)
+
+let mask14 = 0x3FFF
+let mask22 = 0x3FFFFF
+
+let check_imm14 instr v =
+  if not (Isa.fits_imm14 v) then raise (Immediate_out_of_range instr)
+
+let check_imm22 instr v =
+  if not (Isa.fits_imm22 v) then raise (Immediate_out_of_range instr)
+
+let check_uimm22 instr v =
+  if v < 0 || v > mask22 then raise (Immediate_out_of_range instr)
+
+let pack ~opcode ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm14 = 0) ?(imm22 = 0) ()
+    =
+  (opcode lsl 26) lor (rd lsl 22) lor (rs1 lsl 18) lor (rs2 lsl 14)
+  lor (imm14 land mask14) lor (imm22 land mask22)
+
+let encode instr =
+  match instr with
+  | Isa.Nop -> pack ~opcode:0 ()
+  | Isa.Halt -> pack ~opcode:1 ()
+  | Isa.Trap code ->
+    check_imm14 instr code;
+    pack ~opcode:2 ~imm14:code ()
+  | Isa.Lui (rd, imm) ->
+    check_uimm22 instr imm;
+    pack ~opcode:3 ~rd ~imm22:imm ()
+  | Isa.Jal (rd, imm) ->
+    check_imm22 instr imm;
+    pack ~opcode:4 ~rd ~imm22:imm ()
+  | Isa.Jalr (rd, rs1, imm) ->
+    check_imm14 instr imm;
+    pack ~opcode:5 ~rd ~rs1 ~imm14:imm ()
+  | Isa.Load (rd, rs1, imm) ->
+    check_imm14 instr imm;
+    pack ~opcode:6 ~rd ~rs1 ~imm14:imm ()
+  | Isa.Store (rs2, rs1, imm) ->
+    check_imm14 instr imm;
+    pack ~opcode:7 ~rs1 ~rs2 ~imm14:imm ()
+  | Isa.Branch (cond, rs1, rs2, imm) ->
+    check_imm14 instr imm;
+    pack ~opcode:(8 + branch_code cond) ~rs1 ~rs2 ~imm14:imm ()
+  | Isa.Alu (op, rd, rs1, rs2) ->
+    pack ~opcode:(16 + alu_code op) ~rd ~rs1 ~rs2 ()
+  | Isa.Alui (op, rd, rs1, imm) ->
+    check_imm14 instr imm;
+    pack ~opcode:(32 + alu_code op) ~rd ~rs1 ~imm14:imm ()
+
+let sext14 v = if v land 0x2000 <> 0 then v - 0x4000 else v
+let sext22 v = if v land 0x200000 <> 0 then v - 0x400000 else v
+
+let decode word =
+  let opcode = (word lsr 26) land 0x3F in
+  let rd = (word lsr 22) land 0xF in
+  let rs1 = (word lsr 18) land 0xF in
+  let rs2 = (word lsr 14) land 0xF in
+  let imm14 = sext14 (word land mask14) in
+  let uimm22 = word land mask22 in
+  match opcode with
+  | 0 -> Isa.Nop
+  | 1 -> Isa.Halt
+  | 2 -> Isa.Trap imm14
+  | 3 -> Isa.Lui (rd, uimm22)
+  | 4 -> Isa.Jal (rd, sext22 uimm22)
+  | 5 -> Isa.Jalr (rd, rs1, imm14)
+  | 6 -> Isa.Load (rd, rs1, imm14)
+  | 7 -> Isa.Store (rs2, rs1, imm14)
+  | 8 | 9 | 10 | 11 ->
+    Isa.Branch (branch_of_code word (opcode - 8), rs1, rs2, imm14)
+  | op when op >= 16 && op <= 29 -> Isa.Alu (alu_of_code (op - 16), rd, rs1, rs2)
+  | op when op >= 32 && op <= 45 ->
+    Isa.Alui (alu_of_code (op - 32), rd, rs1, imm14)
+  | _ -> raise (Bad_instruction word)

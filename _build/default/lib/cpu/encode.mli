@@ -1,0 +1,15 @@
+(** Binary encoding of the ISA: each instruction is one 32-bit word.
+
+    Layout: opcode in bits [31:26], rd [25:22], rs1 [21:18], rs2 [17:14],
+    signed 14-bit immediate [13:0]; [Jal]/[Lui] use a 22-bit immediate in
+    [21:0]. [decode (encode i) = i] for every well-formed instruction. *)
+
+exception Bad_instruction of int
+(** Raised by {!decode} on an unknown opcode or malformed word. *)
+
+exception Immediate_out_of_range of Isa.instr
+
+val encode : Isa.instr -> int
+(** @raise Immediate_out_of_range if an immediate exceeds its field. *)
+
+val decode : int -> Isa.instr

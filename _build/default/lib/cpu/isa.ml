@@ -1,0 +1,118 @@
+(* Instruction set of the modelled 32-bit RISC microprocessor.
+
+   The machine is a plain load/store core: 16 general registers (r0 reads
+   as zero), word-addressed memory, one instruction per cycle.  It stands
+   in for the proprietary SystemC processor model of the paper's approach
+   1 — what matters to the verification flow is only that the embedded
+   software executes cycle-by-cycle out of a memory the checker can read.
+
+   Register conventions used by the MiniC compiler:
+     r0  zero        r1  ra (link)     r2  sp          r3  fp
+     r4..r11         expression evaluation stack
+     r12             scratch           r13 rv (return value)
+     r14, r15        scratch (address computation, spills)
+*)
+
+type reg = int (* 0..15 *)
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div (* traps on division by zero *)
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt (* signed less-than, result 0/1 *)
+  | Sle
+  | Seq
+
+type branch_cond = Beq | Bne | Blt | Bge
+
+type instr =
+  | Alu of alu_op * reg * reg * reg  (** [rd = rs1 op rs2] *)
+  | Alui of alu_op * reg * reg * int  (** [rd = rs1 op simm14] *)
+  | Lui of reg * int  (** [rd = uimm22 << 10] *)
+  | Load of reg * reg * int  (** [rd = mem(rs1 + simm14)] *)
+  | Store of reg * reg * int  (** [mem(rs1 + simm14) = rs2] *)
+  | Branch of branch_cond * reg * reg * int  (** [pc += simm14] if cond *)
+  | Jal of reg * int  (** [rd = pc+1; pc += simm22] *)
+  | Jalr of reg * reg * int  (** [rd = pc+1; pc = rs1 + simm14] *)
+  | Trap of int  (** stop with a trap code (assert/assume failures) *)
+  | Halt
+  | Nop
+
+(* trap codes used by the compiler *)
+let trap_assert = 1
+let trap_assume = 2
+let trap_bounds = 3
+let trap_division = 4
+
+let num_regs = 16
+let reg_zero = 0
+let reg_ra = 1
+let reg_sp = 2
+let reg_fp = 3
+let reg_e0 = 4 (* first expression register *)
+let reg_e_last = 11
+let reg_scratch = 12
+let reg_rv = 13
+let reg_addr = 14
+let reg_tmp = 15
+
+let imm14_min = -8192
+let imm14_max = 8191
+let imm22_min = -2097152
+let imm22_max = 2097151
+let fits_imm14 v = v >= imm14_min && v <= imm14_max
+let fits_imm22 v = v >= imm22_min && v <= imm22_max
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+
+let branch_name = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Bge -> "bge"
+
+let reg_name r = Printf.sprintf "r%d" r
+
+let to_string = function
+  | Alu (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_op_name op) (reg_name rd)
+      (reg_name rs1) (reg_name rs2)
+  | Alui (op, rd, rs1, imm) ->
+    Printf.sprintf "%si %s, %s, %d" (alu_op_name op) (reg_name rd)
+      (reg_name rs1) imm
+  | Lui (rd, imm) -> Printf.sprintf "lui %s, %d" (reg_name rd) imm
+  | Load (rd, rs1, imm) ->
+    Printf.sprintf "lw %s, %d(%s)" (reg_name rd) imm (reg_name rs1)
+  | Store (rs2, rs1, imm) ->
+    Printf.sprintf "sw %s, %d(%s)" (reg_name rs2) imm (reg_name rs1)
+  | Branch (cond, rs1, rs2, imm) ->
+    Printf.sprintf "%s %s, %s, %d" (branch_name cond) (reg_name rs1)
+      (reg_name rs2) imm
+  | Jal (rd, imm) -> Printf.sprintf "jal %s, %d" (reg_name rd) imm
+  | Jalr (rd, rs1, imm) ->
+    Printf.sprintf "jalr %s, %s, %d" (reg_name rd) (reg_name rs1) imm
+  | Trap code -> Printf.sprintf "trap %d" code
+  | Halt -> "halt"
+  | Nop -> "nop"

@@ -1,0 +1,24 @@
+(* System memory map (word addresses), shared by the compiler, the SoC
+   platform, the virtual memory model of approach 2, and the device models.
+
+     0x0000 .. 0x3FFF   code RAM (entry stub at 0)
+     0x4000 .. 0x7FFF   data RAM: globals from [data_base], stack growing
+                        down from [stack_top]
+     0xE000 .. 0xEFFF   flash controller + read window
+     0xF100             stimulus port (constrained-random input source)
+     0xF200             console port (debug output)
+     0xF300 .. 0xF30F   request mailbox (testbench -> software operations)
+*)
+
+let code_base = 0x0000
+let code_size = 0x4000
+let data_base = 0x4000
+let data_size = 0x4000
+let stack_top = 0x7FF0
+let flash_ctrl_base = 0xE000
+let flash_window_base = 0xE100
+let flash_window_size = 0x0F00
+let stimulus_port = 0xF100
+let console_port = 0xF200
+let mailbox_base = 0xF300
+let mailbox_size = 16

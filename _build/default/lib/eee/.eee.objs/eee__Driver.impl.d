@@ -1,0 +1,1 @@
+lib/eee/driver.ml: Eee_spec Format List Platform Proposition Sctc Stimuli Unix Verdict

@@ -1,0 +1,1 @@
+lib/eee/driver.mli: Eee_spec Format Platform Proposition Sctc Verdict

@@ -1,0 +1,1 @@
+lib/eee/eee_program.ml: Eee_source Esw Lazy List Mcc Minic String

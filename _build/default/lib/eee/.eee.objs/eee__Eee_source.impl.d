@@ -1,0 +1,1 @@
+lib/eee/eee_source.ml: Cpu Printf

@@ -1,0 +1,1 @@
+lib/eee/eee_spec.ml: List Printf String

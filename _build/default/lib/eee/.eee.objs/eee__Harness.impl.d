@@ -1,0 +1,1 @@
+lib/eee/harness.ml: Cpu Dataflash Driver Eee_program Esw Platform Sctc Sim Stimuli

@@ -1,0 +1,1 @@
+lib/eee/harness.mli: Dataflash Driver

@@ -1,0 +1,167 @@
+module Mailbox = Platform.Mailbox
+module Checker = Sctc.Checker
+module Coverage = Sctc.Coverage
+module Prng = Stimuli.Prng
+
+type backend = {
+  backend_name : string;
+  read_var : string -> int;
+  in_function : string -> Proposition.t;
+  mbox : Mailbox.t;
+  advance : unit -> unit;
+  time_units : unit -> int;
+  checker : Checker.t;
+  alive : unit -> bool;
+}
+
+type config = {
+  test_cases : int;
+  watchdog_chunks : int;
+  bound : int option;
+  engine : Checker.engine;
+  seed : int;
+}
+
+let default_config =
+  {
+    test_cases = 200;
+    watchdog_chunks = 200;
+    bound = None;
+    engine = Checker.On_the_fly;
+    seed = 7;
+  }
+
+type outcome = {
+  op : Eee_spec.op;
+  vt_seconds : float;
+  synthesis_seconds : float;
+  completed_cases : int;
+  coverage : Coverage.t;
+  verdict : Verdict.t;
+  timeouts : int;
+  time_units_used : int;
+}
+
+let max_id = 16 (* must match MAX_ID in the software *)
+
+let install_spec ?(bound = None) ?(engine = Checker.On_the_fly) backend ops =
+  List.iter
+    (fun op ->
+      (* "<op>_called": entering the operation's implementation function *)
+      let called =
+        Proposition.rose (Eee_spec.called_prop op)
+          (backend.in_function (Eee_spec.entry_function op))
+      in
+      Checker.register_proposition backend.checker called;
+      (* "<op>_ret_<code>": a response for this op with that code is
+         currently posted in the mailbox *)
+      List.iter
+        (fun code ->
+          let name = Eee_spec.return_prop op code in
+          let sample () =
+            Mailbox.response_ready backend.mbox
+            && backend.read_var "eee_done_op" = Eee_spec.op_code op
+            && backend.read_var "eee_done_ret" = code
+          in
+          Checker.register_proposition backend.checker
+            (Proposition.make name sample))
+        (Eee_spec.expected_returns op);
+      Checker.add_property_text ~engine backend.checker
+        ~name:(Eee_spec.property_name op)
+        (Eee_spec.property_text ?bound op))
+    ops
+
+(* constrained-random arguments per operation *)
+let random_args prng op =
+  let random_id () =
+    if Prng.chance prng 0.12 then
+      (* out-of-range stimulus to exercise EEE_ERR_PARAMETER *)
+      Prng.pick prng [ -3; -1; max_id; max_id + 7 ]
+    else Prng.int_range prng ~lo:0 ~hi:(max_id - 1)
+  in
+  match op with
+  | Eee_spec.Read -> (random_id (), 0)
+  | Eee_spec.Write -> (random_id (), Prng.int_range prng ~lo:0 ~hi:1_000_000)
+  | Eee_spec.Startup1 | Eee_spec.Startup2 | Eee_spec.Format
+  | Eee_spec.Prepare | Eee_spec.Refresh ->
+    (0, 0)
+
+(* issue one operation and wait for its response (or the watchdog) *)
+let issue backend config prng op =
+  let arg0, arg1 = random_args prng op in
+  Mailbox.post_request backend.mbox ~op:(Eee_spec.op_code op) ~arg0 ~arg1;
+  let rec wait chunk =
+    if Mailbox.response_ready backend.mbox then
+      Some (Mailbox.take_response backend.mbox)
+    else if chunk >= config.watchdog_chunks || not (backend.alive ()) then None
+    else begin
+      backend.advance ();
+      wait (chunk + 1)
+    end
+  in
+  wait 0
+
+(* a context operation to walk the emulation through its state space;
+   weights favour the operations that change global state *)
+let context_op prng =
+  Prng.pick_weighted prng
+    [
+      (3, Eee_spec.Write);
+      (2, Eee_spec.Read);
+      (2, Eee_spec.Prepare);
+      (2, Eee_spec.Refresh);
+      (1, Eee_spec.Format);
+      (1, Eee_spec.Startup1);
+      (1, Eee_spec.Startup2);
+    ]
+
+let run_campaign backend config op =
+  let prng = Prng.create ~seed:config.seed in
+  let coverage =
+    Coverage.create ~name:(Eee_spec.op_name op)
+      ~expected:(List.map Eee_spec.return_name (Eee_spec.expected_returns op))
+  in
+  let timeouts = ref 0 in
+  let completed = ref 0 in
+  let units_before = backend.time_units () in
+  let started = Unix.gettimeofday () in
+  (* bootstrap: bring the emulation up once, as an application would; the
+     campaign's context operations (startup1 downgrades, failed formats)
+     reopen the uninitialized states afterwards *)
+  List.iter
+    (fun boot -> ignore (issue backend config prng boot))
+    [ Eee_spec.Format; Eee_spec.Startup1; Eee_spec.Startup2 ];
+  for _case = 1 to config.test_cases do
+    if backend.alive () then begin
+      (* frequently reshuffle the emulation state first *)
+      if Prng.chance prng 0.5 then
+        ignore (issue backend config prng (context_op prng));
+      (* back-to-back issue right after a state-changing op maximizes the
+         chance of catching the background erase (EEE_BUSY) *)
+      match issue backend config prng op with
+      | Some ret ->
+        incr completed;
+        Coverage.observe coverage (Eee_spec.return_name ret)
+      | None -> incr timeouts
+    end
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  {
+    op;
+    vt_seconds = elapsed +. Checker.synthesis_seconds backend.checker;
+    synthesis_seconds = Checker.synthesis_seconds backend.checker;
+    completed_cases = !completed;
+    coverage;
+    verdict = Checker.verdict backend.checker (Eee_spec.property_name op);
+    timeouts = !timeouts;
+    time_units_used = backend.time_units () - units_before;
+  }
+
+let pp_outcome fmt outcome =
+  Format.fprintf fmt
+    "%-9s V.T.=%.3fs (synth %.3fs)  T.C.=%d  C=%.1f%%  verdict=%a  \
+     timeouts=%d  units=%d"
+    (Eee_spec.op_name outcome.op)
+    outcome.vt_seconds outcome.synthesis_seconds outcome.completed_cases
+    (Coverage.percent outcome.coverage)
+    Verdict.pp outcome.verdict outcome.timeouts outcome.time_units_used

@@ -1,0 +1,29 @@
+(* Parsed and checked form of the case-study software, memoized. *)
+
+let checked = lazy (Minic.Typecheck.check (Minic.C_parser.parse (Eee_source.default ())))
+
+let info () = Lazy.force checked
+let program () = Minic.Typecheck.program (info ())
+
+let compiled = lazy (Mcc.Codegen.compile (info ()))
+let compile () = Lazy.force compiled
+
+let derived = lazy (Esw.C2sc.derive (info ()))
+let derive () = Lazy.force derived
+
+let line_count () =
+  Eee_source.default () |> String.split_on_char '\n'
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.length
+
+let function_count () = List.length (program ()).Minic.Ast.funcs
+
+(* closed nondet-driven variant for the formal baselines *)
+let analysis_checked =
+  lazy (Minic.Typecheck.check (Minic.C_parser.parse (Eee_source.analysis_harness ())))
+
+let analysis_info () = Lazy.force analysis_checked
+
+(* the fname-instrumented derivation of the closed variant *)
+let analysis_derived = lazy (Esw.C2sc.derive (analysis_info ()))
+let analysis_derive () = Lazy.force analysis_derived

@@ -1,0 +1,405 @@
+(* The EEPROM-emulation embedded software, in MiniC.
+
+   This is the reproduction of the paper's industrial case study: an
+   EEPROM emulation over data flash, split into the Data Flash Access
+   layer (DFALib) — the driver for the flash controller hardware — and the
+   EEPROM Emulation layer (EEELib) offering format / prepare / read /
+   write / refresh / startup1 / startup2 to the application (paper Fig. 6).
+   The software is state-driven: initialization states, an active/alternate
+   block pair, a RAM record index, and a background-erase state shared by
+   all operations (the paper's shared ready/abort/error/finish states map
+   to EEE_OK/EEE_BUSY/EEE_ERR_* plus the pending-erase mechanism).
+
+   Storage layout: two pool blocks; word 0 of a pool block holds a header
+   magic, the rest is a log of (id, value) record pairs; an erased cell
+   reads -1. Reads go through direct memory access into the flash window
+   (the accesses approach 2 redirects into the virtual memory model);
+   program/erase go through the controller registers. *)
+
+let source ?(driver = `Mailbox) ~flash_ctrl_base ~flash_window_base
+    ~mailbox_base () =
+  Printf.sprintf
+    {|
+/* ===================================================================== */
+/* EEPROM emulation over data flash: DFALib + EEELib                     */
+/* ===================================================================== */
+
+const int FLASH_CTRL = %d;
+const int FLASH_WIN = %d;
+const int MAILBOX = %d;
+
+const int BLOCK_WORDS = 128;
+const int POOL_BLOCKS = 2;
+const int MAX_ID = 16;
+const int HEADER_MAGIC = 23294;
+
+/* EEELib return codes (the specification's operation results) */
+const int EEE_OK = 0;
+const int EEE_BUSY = 1;
+const int EEE_ERR_INIT = 2;
+const int EEE_ERR_ACCESS = 3;
+const int EEE_ERR_NO_INSTANCE = 4;
+const int EEE_ERR_POOL_FULL = 5;
+const int EEE_ERR_PARAMETER = 6;
+const int EEE_ERR_NOT_FORMATTED = 7;
+
+/* DFALib status codes */
+const int DFA_OK = 0;
+const int DFA_FAULT = 2;
+const int DFA_TIMEOUT = 3;
+const int DFA_WAIT_LIMIT = 5000;
+
+/* mailbox operation codes */
+const int OP_READ = 1;
+const int OP_WRITE = 2;
+const int OP_STARTUP1 = 3;
+const int OP_STARTUP2 = 4;
+const int OP_FORMAT = 5;
+const int OP_PREPARE = 6;
+const int OP_REFRESH = 7;
+
+/* ------------------------- state --------------------------------- */
+
+int flag;                /* checker handshake: set once initialized   */
+int fname;               /* function tracking (instrumented)          */
+
+int eee_init;            /* 0 = none, 1 = startup1 done, 2 = ready    */
+int eee_active;          /* current pool block                        */
+int eee_next_free;       /* next free word offset in the active block */
+int eee_pending_erase;   /* block erasing in background, -1 = none    */
+int eee_index[MAX_ID];   /* latest record offset per id, -1 = none    */
+int eee_read_value;      /* result of the last successful read        */
+int eee_done_op;         /* last completed operation                  */
+int eee_done_ret;        /* its return code                           */
+int eee_served;          /* completed operation count                 */
+
+/* ========================= DFALib ================================= */
+
+int dfa_status(void) {
+  return *(FLASH_CTRL + 3);
+}
+
+int dfa_result(void) {
+  return *(FLASH_CTRL + 4);
+}
+
+void dfa_clear_fault(void) {
+  *(FLASH_CTRL + 0) = 3;
+}
+
+int dfa_read(int addr) {
+  return *(FLASH_WIN + addr);
+}
+
+int dfa_busy(void) {
+  if (dfa_status() == 1) { return 1; }
+  return 0;
+}
+
+/* poll the controller until it leaves the busy state */
+int dfa_wait_ready(void) {
+  int waited = 0;
+  while (dfa_status() == 1) {
+    waited = waited + 1;
+    if (waited > DFA_WAIT_LIMIT) { return DFA_TIMEOUT; }
+  }
+  if (dfa_status() == 2) { return DFA_FAULT; }
+  return DFA_OK;
+}
+
+int dfa_program(int addr, int value) {
+  *(FLASH_CTRL + 1) = addr;
+  *(FLASH_CTRL + 2) = value;
+  *(FLASH_CTRL + 0) = 1;
+  if (dfa_result() != 0) { return DFA_FAULT; }
+  int waited = dfa_wait_ready();
+  if (waited != DFA_OK) {
+    dfa_clear_fault();
+    return DFA_FAULT;
+  }
+  return DFA_OK;
+}
+
+/* begin a block erase without waiting for completion */
+int dfa_erase_start(int block) {
+  *(FLASH_CTRL + 1) = block;
+  *(FLASH_CTRL + 0) = 2;
+  if (dfa_result() != 0) { return DFA_FAULT; }
+  return DFA_OK;
+}
+
+int dfa_erase(int block) {
+  int started = dfa_erase_start(block);
+  if (started != DFA_OK) { return started; }
+  int waited = dfa_wait_ready();
+  if (waited != DFA_OK) {
+    dfa_clear_fault();
+    return DFA_FAULT;
+  }
+  return DFA_OK;
+}
+
+int dfa_blank_check(int block) {
+  *(FLASH_CTRL + 1) = block;
+  return *(FLASH_CTRL + 5);
+}
+
+/* ========================= EEELib ================================= */
+
+int eee_alternate(void) {
+  if (eee_active == 0) { return 1; }
+  return 0;
+}
+
+int eee_block_base(int block) {
+  return block * BLOCK_WORDS;
+}
+
+void eee_clear_index(void) {
+  int i;
+  for (i = 0; i < MAX_ID; i++) { eee_index[i] = -1; }
+}
+
+/* shared entry state machine: a background erase started by prepare,
+   refresh or format keeps the library busy until the hardware is done */
+int eee_handle_pending(void) {
+  if (eee_pending_erase >= 0) {
+    if (dfa_status() == 1) { return EEE_BUSY; }
+    if (dfa_status() == 2) {
+      dfa_clear_fault();
+      eee_pending_erase = -1;
+      return EEE_ERR_ACCESS;
+    }
+    eee_pending_erase = -1;
+  }
+  return EEE_OK;
+}
+
+/* rebuild the RAM index from the active block's record log */
+int eee_scan_active(void) {
+  int off = 1;
+  eee_clear_index();
+  while (off + 1 < BLOCK_WORDS) {
+    int id = dfa_read(eee_block_base(eee_active) + off);
+    if (id == -1) { break; }
+    if (id >= 0 && id < MAX_ID) { eee_index[id] = off; }
+    off = off + 2;
+  }
+  eee_next_free = off;
+  return EEE_OK;
+}
+
+int eee_startup1(void) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  int block;
+  for (block = 0; block < POOL_BLOCKS; block++) {
+    if (dfa_read(eee_block_base(block)) == HEADER_MAGIC) {
+      eee_active = block;
+      eee_init = 1;
+      return EEE_OK;
+    }
+  }
+  eee_init = 0;
+  return EEE_ERR_NOT_FORMATTED;
+}
+
+int eee_startup2(void) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  if (eee_init < 1) { return EEE_ERR_INIT; }
+  eee_scan_active();
+  eee_init = 2;
+  return EEE_OK;
+}
+
+int eee_format(void) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  int block;
+  for (block = 0; block < POOL_BLOCKS; block++) {
+    if (dfa_blank_check(block) != 1) {
+      int erased = dfa_erase(block);
+      if (erased != DFA_OK) {
+        eee_init = 0;
+        return EEE_ERR_ACCESS;
+      }
+    }
+  }
+  if (dfa_program(eee_block_base(0), HEADER_MAGIC) != DFA_OK) {
+    eee_init = 0;
+    return EEE_ERR_ACCESS;
+  }
+  eee_active = 0;
+  eee_next_free = 1;
+  eee_clear_index();
+  eee_init = 2;
+  return EEE_OK;
+}
+
+int eee_prepare(void) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  if (eee_init < 1) { return EEE_ERR_INIT; }
+  int alt = eee_alternate();
+  if (dfa_blank_check(alt) == 1) { return EEE_OK; }
+  if (dfa_erase_start(alt) != DFA_OK) {
+    dfa_clear_fault();
+    return EEE_ERR_ACCESS;
+  }
+  eee_pending_erase = alt;
+  return EEE_OK;
+}
+
+int eee_read_op(int id) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  if (eee_init < 2) { return EEE_ERR_INIT; }
+  if (id < 0 || id >= MAX_ID) { return EEE_ERR_PARAMETER; }
+  if (eee_index[id] < 0) { return EEE_ERR_NO_INSTANCE; }
+  eee_read_value = dfa_read(eee_block_base(eee_active) + eee_index[id] + 1);
+  return EEE_OK;
+}
+
+int eee_write_op(int id, int value) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  if (eee_init < 2) { return EEE_ERR_INIT; }
+  if (id < 0 || id >= MAX_ID) { return EEE_ERR_PARAMETER; }
+  if (eee_next_free + 1 >= BLOCK_WORDS) { return EEE_ERR_POOL_FULL; }
+  int base = eee_block_base(eee_active);
+  if (dfa_program(base + eee_next_free, id) != DFA_OK) {
+    return EEE_ERR_ACCESS;
+  }
+  if (dfa_program(base + eee_next_free + 1, value) != DFA_OK) {
+    return EEE_ERR_ACCESS;
+  }
+  eee_index[id] = eee_next_free;
+  eee_next_free = eee_next_free + 2;
+  return EEE_OK;
+}
+
+int eee_refresh(void) {
+  int pending = eee_handle_pending();
+  if (pending != EEE_OK) { return pending; }
+  if (eee_init < 2) { return EEE_ERR_INIT; }
+  int alt = eee_alternate();
+  if (dfa_blank_check(alt) != 1) {
+    if (dfa_erase(alt) != DFA_OK) { return EEE_ERR_ACCESS; }
+  }
+  if (dfa_program(eee_block_base(alt), HEADER_MAGIC) != DFA_OK) {
+    return EEE_ERR_ACCESS;
+  }
+  int dst = 1;
+  int id;
+  for (id = 0; id < MAX_ID; id++) {
+    if (eee_index[id] >= 0) {
+      int value = dfa_read(eee_block_base(eee_active) + eee_index[id] + 1);
+      if (dfa_program(eee_block_base(alt) + dst, id) != DFA_OK) {
+        return EEE_ERR_ACCESS;
+      }
+      if (dfa_program(eee_block_base(alt) + dst + 1, value) != DFA_OK) {
+        return EEE_ERR_ACCESS;
+      }
+      dst = dst + 2;
+    }
+  }
+  int old = eee_active;
+  eee_active = alt;
+  eee_scan_active();
+  if (dfa_erase_start(old) != DFA_OK) {
+    dfa_clear_fault();
+    return EEE_ERR_ACCESS;
+  }
+  eee_pending_erase = old;
+  return EEE_OK;
+}
+
+/* =================== application service loop ===================== */
+
+int eee_dispatch(int op, int arg0, int arg1) {
+  int ret;
+  switch (op) {
+  case 1:
+    ret = eee_read_op(arg0);
+    break;
+  case 2:
+    ret = eee_write_op(arg0, arg1);
+    break;
+  case 3:
+    ret = eee_startup1();
+    break;
+  case 4:
+    ret = eee_startup2();
+    break;
+  case 5:
+    ret = eee_format();
+    break;
+  case 6:
+    ret = eee_prepare();
+    break;
+  case 7:
+    ret = eee_refresh();
+    break;
+  default:
+    ret = EEE_ERR_PARAMETER;
+    break;
+  }
+  eee_done_op = op;
+  eee_done_ret = ret;
+  eee_served = eee_served + 1;
+  return ret;
+}
+
+void eee_service(void) {
+  int op = *(MAILBOX + 1);
+  int arg0 = *(MAILBOX + 2);
+  int arg1 = *(MAILBOX + 3);
+  *(MAILBOX + 0) = 0;
+  *(MAILBOX + 5) = eee_dispatch(op, arg0, arg1);
+  *(MAILBOX + 4) = 1;
+}
+
+void eee_init_state(void) {
+  eee_pending_erase = -1;
+  eee_clear_index();
+  eee_done_op = 0;
+  eee_done_ret = -1;
+}
+
+%s
+|}
+    flash_ctrl_base flash_window_base mailbox_base
+    (match driver with
+    | `Mailbox ->
+      {|void main(void) {
+  eee_init_state();
+  flag = 1;
+  while (true) {
+    if (*(MAILBOX + 0) == 1) { eee_service(); }
+  }
+}|}
+    | `Nondet ->
+      (* closed harness for the formal tools: operations and arguments are
+         nondeterministic inputs, as in the paper's constrained CBMC runs *)
+      {|void main(void) {
+  eee_init_state();
+  flag = 1;
+  while (true) {
+    int op = nondet(1, 7);
+    int a0 = nondet(0 - 2, 17);
+    int a1 = nondet(0, 1000000);
+    eee_dispatch(op, a0, a1);
+  }
+}|})
+
+let default () =
+  source ~flash_ctrl_base:Cpu.Memory_map.flash_ctrl_base
+    ~flash_window_base:Cpu.Memory_map.flash_window_base
+    ~mailbox_base:Cpu.Memory_map.mailbox_base ()
+
+(* the closed variant analysed by the formal baselines (Fig. 7) *)
+let analysis_harness () =
+  source ~driver:`Nondet ~flash_ctrl_base:Cpu.Memory_map.flash_ctrl_base
+    ~flash_window_base:Cpu.Memory_map.flash_window_base
+    ~mailbox_base:Cpu.Memory_map.mailbox_base ()

@@ -1,0 +1,30 @@
+(** Backends binding the campaign driver to the two verification
+    approaches. Both run the identical EEPROM-emulation software against
+    identical device models; they differ exactly as the paper's approaches
+    do — where the software executes and what triggers the checker. *)
+
+val flash_campaign_config : fault_rate:float -> Dataflash.Flash.config
+(** Campaign flash geometry: 4 x 128 words, slow erase (wide EEE_BUSY
+    window), program/erase faults injected at [fault_rate]. *)
+
+val approach1 :
+  ?fault_rate:float ->
+  ?seed:int ->
+  ?chunk_cycles:int ->
+  unit ->
+  Driver.backend
+(** Approach 1: compile the software, load it into the SoC, attach the ESW
+    monitor (clock trigger + flag handshake), and boot until the software
+    raises its initialization flag. [chunk_cycles] is the granularity of
+    {!Driver.backend.advance} (default 150). *)
+
+val approach2 :
+  ?fault_rate:float ->
+  ?seed:int ->
+  ?chunk_statements:int ->
+  unit ->
+  Driver.backend
+(** Approach 2: derive the SystemC software model, map flash controller,
+    flash window and mailbox into the virtual memory model, attach the
+    checker to the program-counter event, and start the model thread.
+    [chunk_statements] defaults to 400. *)

@@ -1,0 +1,1 @@
+lib/esw/c2sc.ml: Buffer List Minic Option Printf String

@@ -1,0 +1,1 @@
+lib/esw/c2sc.mli: Minic

@@ -1,0 +1,1 @@
+lib/esw/esw_model.ml: C2sc Minic Sim Stimuli Vmem

@@ -1,0 +1,1 @@
+lib/esw/esw_model.mli: C2sc Minic Sim Vmem

@@ -1,0 +1,1 @@
+lib/esw/esw_prop.ml: C2sc Esw_model Minic Printf Proposition

@@ -1,0 +1,1 @@
+lib/esw/esw_prop.mli: Esw_model Proposition

@@ -1,0 +1,1 @@
+lib/esw/vmem.mli: Cpu

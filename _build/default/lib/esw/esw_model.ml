@@ -1,0 +1,83 @@
+type outcome_state =
+  | Not_started
+  | Running
+  | Done of Minic.Interp.outcome
+  | Crashed of exn
+
+type t = {
+  kernel : Sim.Kernel.t;
+  derived : C2sc.derived;
+  vm : Vmem.t;
+  interp_env : Minic.Interp.env;
+  mutable interp_hooks : Minic.Interp.hooks;
+  pc_ev : Sim.Kernel.event;
+  mutable state : outcome_state;
+  mutable stmt_count : int;
+}
+
+let create kernel ?(seed = 42) ?(on_tick = fun () -> ()) derived ~vmem =
+  let pc_ev = Sim.Kernel.event kernel "esw_pc_event" in
+  let interp_env = Minic.Interp.create derived.C2sc.model_info in
+  let prng = Stimuli.Prng.create ~seed in
+  let stimulus = Stimuli.Prng.split prng "stimulus" in
+  let model =
+    {
+      kernel;
+      derived;
+      vm = vmem;
+      interp_env;
+      interp_hooks = Minic.Interp.default_hooks ();
+      pc_ev;
+      state = Not_started;
+      stmt_count = 0;
+    }
+  in
+  let hooks =
+    {
+      Minic.Interp.mem_read = (fun addr -> Vmem.read vmem addr);
+      mem_write = (fun addr value -> Vmem.write vmem addr value);
+      nondet =
+        (fun ~lo ~hi ->
+          lo + (Stimuli.Prng.bits stimulus land 0xFFFFF) mod (hi - lo + 1));
+      on_statement =
+        (fun _stmt ->
+          model.stmt_count <- model.stmt_count + 1;
+          on_tick ();
+          Sim.Kernel.notify pc_ev;
+          Sim.Kernel.wait_for kernel 1);
+      on_function_entry = (fun _ -> ());
+    }
+  in
+  model.interp_hooks <- hooks;
+  model
+
+let derived model = model.derived
+let pc_event model = model.pc_ev
+let vmem model = model.vm
+let statements model = model.stmt_count
+let read_member model name = Minic.Interp.read_global model.interp_env name
+let outcome model = model.state
+let env model = model.interp_env
+let hooks model = model.interp_hooks
+
+let start ?(fuel = 50_000_000) model ~entry =
+  if model.state <> Not_started then
+    invalid_arg "Esw_model.start: already started";
+  model.state <- Running;
+  let final_sample () =
+    (* the pc event fires before each statement, so emit one final
+       notification to expose the state after the last statement *)
+    Sim.Kernel.notify model.pc_ev;
+    Sim.Kernel.wait_for model.kernel 1
+  in
+  let body () =
+    (match Minic.Interp.run ~fuel model.interp_env model.interp_hooks ~entry with
+    | result -> model.state <- Done result
+    | exception
+        ((Minic.Interp.Assertion_failed _ | Minic.Interp.Assumption_failed _
+         | Minic.Interp.Runtime_error _) as exn) ->
+      model.state <- Crashed exn);
+    final_sample ()
+  in
+  Sim.Kernel.spawn model.kernel ~name:(model.derived.C2sc.class_name ^ ".main")
+    body

@@ -1,0 +1,51 @@
+(** Executor for the derived software model (approach 2).
+
+    The derived model runs as a simulation thread ([SC_THREAD]); after
+    every executed statement it notifies [esw_pc_event] and suspends for
+    one time unit, making simulation time equal the statement count — the
+    paper's program-counter timing reference. The temporal checker attaches
+    to [pc_event]; time bounds in properties are therefore counted in
+    statements, not clock cycles, which is why the same property needs far
+    smaller bounds than under approach 1.
+
+    The model's memory operations are bound to a {!Vmem}; [nondet] draws
+    from a deterministic stimulus stream; flash-style devices that need a
+    time base are advanced once per statement through [on_tick]. *)
+
+type outcome_state =
+  | Not_started
+  | Running
+  | Done of Minic.Interp.outcome
+  | Crashed of exn  (** assertion failure / runtime error of the software *)
+
+type t
+
+val create :
+  Sim.Kernel.t ->
+  ?seed:int ->
+  ?on_tick:(unit -> unit) ->
+  C2sc.derived ->
+  vmem:Vmem.t ->
+  t
+
+val derived : t -> C2sc.derived
+
+val pc_event : t -> Sim.Kernel.event
+val vmem : t -> Vmem.t
+val statements : t -> int
+(** Statements executed so far (= simulation time units consumed). *)
+
+val read_member : t -> string -> int
+(** Observe a class member (global variable) of the running model. *)
+
+val outcome : t -> outcome_state
+
+val start : ?fuel:int -> t -> entry:string -> Sim.Kernel.process
+(** Spawn the model thread; default fuel 50 million statements. The
+    process body catches software-level exceptions into [Crashed]. *)
+
+val env : t -> Minic.Interp.env
+(** The underlying interpreter state (advanced use: drivers calling
+    individual operations). *)
+
+val hooks : t -> Minic.Interp.hooks

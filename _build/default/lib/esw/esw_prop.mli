@@ -1,0 +1,18 @@
+(** Propositions over the derived software model (approach 2).
+
+    Unlike {!Platform.Mem_prop}, these read the model's class members
+    directly — there is no processor memory; the checker and the model
+    share the simulation. *)
+
+val var_value : Esw_model.t -> string -> int
+
+val var_eq : Esw_model.t -> ?prop_name:string -> string -> int -> Proposition.t
+
+val var_pred :
+  Esw_model.t -> prop_name:string -> string -> (int -> bool) -> Proposition.t
+
+val in_function : Esw_model.t -> string -> Proposition.t
+(** [fname] currently holds the id of the function. *)
+
+val entered_function : Esw_model.t -> string -> Proposition.t
+(** Rising-edge variant of {!in_function}. *)

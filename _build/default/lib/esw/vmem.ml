@@ -1,0 +1,35 @@
+type t = {
+  bus : Cpu.Bus.t;
+  backing : (int, int) Hashtbl.t;
+  mutable access_count : int;
+  mutable device_count : int;
+}
+
+let create () =
+  {
+    bus = Cpu.Bus.create ();
+    backing = Hashtbl.create 256;
+    access_count = 0;
+    device_count = 0;
+  }
+
+let map_device vmem device = Cpu.Bus.attach vmem.bus device
+
+let read vmem addr =
+  vmem.access_count <- vmem.access_count + 1;
+  match Cpu.Bus.read vmem.bus addr with
+  | value ->
+    vmem.device_count <- vmem.device_count + 1;
+    value
+  | exception Cpu.Bus.Bus_error _ -> (
+    match Hashtbl.find_opt vmem.backing addr with Some v -> v | None -> 0)
+
+let write vmem addr value =
+  vmem.access_count <- vmem.access_count + 1;
+  match Cpu.Bus.write vmem.bus addr value with
+  | () -> vmem.device_count <- vmem.device_count + 1
+  | exception Cpu.Bus.Bus_error _ ->
+    Hashtbl.replace vmem.backing addr (Minic.Value.wrap value)
+
+let accesses vmem = vmem.access_count
+let device_accesses vmem = vmem.device_count

@@ -1,0 +1,25 @@
+(** Virtual memory model (paper Fig. 4, lower ESW layer).
+
+    Approach 2 performs verification without the original microprocessor
+    memory: every direct memory access of the software is served by this
+    model instead. Mapped devices (flash controller, stimulus port,
+    mailbox) behave exactly as on the approach-1 bus — the same
+    {!Cpu.Bus.device} values plug into both — while unmapped addresses fall
+    back to a sparse backing store, so the software's scratch memory "just
+    works" without declaring it. *)
+
+type t
+
+val create : unit -> t
+
+val map_device : t -> Cpu.Bus.device -> unit
+(** @raise Invalid_argument on overlapping ranges. *)
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+
+val accesses : t -> int
+(** Total reads + writes (VM traffic statistic). *)
+
+val device_accesses : t -> int
+(** Accesses that hit a mapped device. *)

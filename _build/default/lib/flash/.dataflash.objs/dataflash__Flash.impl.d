@@ -1,0 +1,1 @@
+lib/flash/flash.ml: Array Minic Printf Stimuli

@@ -1,0 +1,1 @@
+lib/flash/flash.mli: Stimuli

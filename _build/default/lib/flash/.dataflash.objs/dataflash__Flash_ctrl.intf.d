@@ -1,0 +1,1 @@
+lib/flash/flash_ctrl.mli: Cpu Flash

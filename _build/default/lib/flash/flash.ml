@@ -1,0 +1,166 @@
+type config = {
+  num_blocks : int;
+  words_per_block : int;
+  erase_ticks : int;
+  write_ticks : int;
+  write_fail_prob : float;
+  erase_fail_prob : float;
+}
+
+let default_config =
+  {
+    num_blocks = 4;
+    words_per_block = 128;
+    erase_ticks = 50;
+    write_ticks = 5;
+    write_fail_prob = 0.0;
+    erase_fail_prob = 0.0;
+  }
+
+type status = Ready | Busy | Fault
+
+type pending =
+  | No_op
+  | Write_op of { addr : int; value : int; will_fail : bool }
+  | Erase_op of { block : int; will_fail : bool }
+
+type t = {
+  cfg : config;
+  cells : int array; (* -1 = erased *)
+  bad_blocks : bool array;
+  prng : Stimuli.Prng.t;
+  mutable state : status;
+  mutable pending : pending;
+  mutable remaining : int;
+  mutable writes_done : int;
+  mutable erases_done : int;
+  mutable faults : int;
+}
+
+let create ?prng cfg =
+  if cfg.num_blocks <= 0 || cfg.words_per_block <= 0 then
+    invalid_arg "Flash.create: empty geometry";
+  let prng =
+    match prng with Some p -> p | None -> Stimuli.Prng.create ~seed:0
+  in
+  {
+    cfg;
+    cells = Array.make (cfg.num_blocks * cfg.words_per_block) (-1);
+    bad_blocks = Array.make cfg.num_blocks false;
+    prng;
+    state = Ready;
+    pending = No_op;
+    remaining = 0;
+    writes_done = 0;
+    erases_done = 0;
+    faults = 0;
+  }
+
+let config flash = flash.cfg
+let size_words flash = Array.length flash.cells
+let status flash = flash.state
+
+let clear_fault flash = if flash.state = Fault then flash.state <- Ready
+
+let check_addr flash addr =
+  if addr < 0 || addr >= Array.length flash.cells then
+    invalid_arg (Printf.sprintf "Flash: address %d out of range" addr)
+
+let block_of flash addr = addr / flash.cfg.words_per_block
+
+let read_word flash addr =
+  check_addr flash addr;
+  flash.cells.(addr)
+
+let start_write flash ~addr ~value =
+  if flash.state <> Ready then Error `Busy
+  else if addr < 0 || addr >= Array.length flash.cells then Error `Bad_address
+  else if flash.cells.(addr) <> -1 then Error `Not_erased
+  else begin
+    let will_fail =
+      flash.bad_blocks.(block_of flash addr)
+      || Stimuli.Prng.chance flash.prng flash.cfg.write_fail_prob
+    in
+    flash.state <- Busy;
+    flash.pending <- Write_op { addr; value = Minic.Value.wrap value; will_fail };
+    flash.remaining <- max 1 flash.cfg.write_ticks;
+    Ok ()
+  end
+
+let start_erase flash ~block =
+  if flash.state <> Ready then Error `Busy
+  else if block < 0 || block >= flash.cfg.num_blocks then Error `Bad_address
+  else begin
+    let will_fail =
+      flash.bad_blocks.(block)
+      || Stimuli.Prng.chance flash.prng flash.cfg.erase_fail_prob
+    in
+    flash.state <- Busy;
+    flash.pending <- Erase_op { block; will_fail };
+    flash.remaining <- max 1 flash.cfg.erase_ticks;
+    Ok ()
+  end
+
+let is_blank flash ~block =
+  if block < 0 || block >= flash.cfg.num_blocks then
+    invalid_arg "Flash.is_blank: bad block";
+  let base = block * flash.cfg.words_per_block in
+  let rec scan i =
+    i >= flash.cfg.words_per_block || (flash.cells.(base + i) = -1 && scan (i + 1))
+  in
+  scan 0
+
+let mark_bad_block flash block =
+  if block < 0 || block >= flash.cfg.num_blocks then
+    invalid_arg "Flash.mark_bad_block: bad block";
+  flash.bad_blocks.(block) <- true
+
+let complete flash =
+  match flash.pending with
+  | No_op -> ()
+  | Write_op { addr; value; will_fail } ->
+    flash.pending <- No_op;
+    if will_fail then begin
+      (* a failed program leaves the cell in an undefined, non-erased
+         state: model as a corrupted value *)
+      flash.cells.(addr) <- value lxor 0x5A5A;
+      flash.faults <- flash.faults + 1;
+      flash.state <- Fault
+    end
+    else begin
+      flash.cells.(addr) <- value;
+      flash.writes_done <- flash.writes_done + 1;
+      flash.state <- Ready
+    end
+  | Erase_op { block; will_fail } ->
+    flash.pending <- No_op;
+    if will_fail then begin
+      flash.faults <- flash.faults + 1;
+      flash.state <- Fault
+    end
+    else begin
+      let base = block * flash.cfg.words_per_block in
+      Array.fill flash.cells base flash.cfg.words_per_block (-1);
+      flash.erases_done <- flash.erases_done + 1;
+      flash.state <- Ready
+    end
+
+let tick flash =
+  if flash.state = Busy then begin
+    flash.remaining <- flash.remaining - 1;
+    if flash.remaining <= 0 then complete flash
+  end
+
+let ticks_remaining flash = if flash.state = Busy then flash.remaining else 0
+let writes_completed flash = flash.writes_done
+let erases_completed flash = flash.erases_done
+let faults_injected flash = flash.faults
+
+let reset flash =
+  Array.fill flash.cells 0 (Array.length flash.cells) (-1);
+  flash.state <- Ready;
+  flash.pending <- No_op;
+  flash.remaining <- 0;
+  flash.writes_done <- 0;
+  flash.erases_done <- 0;
+  flash.faults <- 0

@@ -1,0 +1,99 @@
+type t = {
+  fl : Flash.t;
+  mutable addr : int;
+  mutable data : int;
+  mutable last_cmd : int;
+  mutable result : int;
+}
+
+let reg_cmd = 0
+let reg_addr = 1
+let reg_data = 2
+let reg_status = 3
+let reg_result = 4
+let reg_blank = 5
+let reg_geom_blocks = 6
+let reg_geom_words = 7
+
+let cmd_program = 1
+let cmd_erase = 2
+let cmd_clear_fault = 3
+
+let status_ready = 0
+let status_busy = 1
+let status_fault = 2
+
+let result_ok = 0
+let result_busy = 1
+let result_not_erased = 2
+let result_bad_address = 3
+
+let create fl = { fl; addr = 0; data = 0; last_cmd = 0; result = 0 }
+
+let flash ctrl = ctrl.fl
+
+let execute ctrl cmd =
+  ctrl.last_cmd <- cmd;
+  if cmd = cmd_program then
+    ctrl.result <-
+      (match Flash.start_write ctrl.fl ~addr:ctrl.addr ~value:ctrl.data with
+      | Ok () -> result_ok
+      | Error `Busy -> result_busy
+      | Error `Not_erased -> result_not_erased
+      | Error `Bad_address -> result_bad_address)
+  else if cmd = cmd_erase then
+    ctrl.result <-
+      (match Flash.start_erase ctrl.fl ~block:ctrl.addr with
+      | Ok () -> result_ok
+      | Error `Busy -> result_busy
+      | Error `Bad_address -> result_bad_address)
+  else if cmd = cmd_clear_fault then begin
+    Flash.clear_fault ctrl.fl;
+    ctrl.result <- result_ok
+  end
+  else ctrl.result <- result_bad_address
+
+let safe_read ctrl addr =
+  if addr >= 0 && addr < Flash.size_words ctrl.fl then
+    Flash.read_word ctrl.fl addr
+  else -1
+
+let ctrl_device ctrl ~base =
+  let read offset =
+    if offset = reg_cmd then ctrl.last_cmd
+    else if offset = reg_addr then ctrl.addr
+    else if offset = reg_data then safe_read ctrl ctrl.addr
+    else if offset = reg_status then begin
+      match Flash.status ctrl.fl with
+      | Flash.Ready -> status_ready
+      | Flash.Busy -> status_busy
+      | Flash.Fault -> status_fault
+    end
+    else if offset = reg_result then ctrl.result
+    else if offset = reg_blank then begin
+      let cfg = Flash.config ctrl.fl in
+      if ctrl.addr >= 0 && ctrl.addr < cfg.Flash.num_blocks then
+        if Flash.is_blank ctrl.fl ~block:ctrl.addr then 1 else 0
+      else 0
+    end
+    else if offset = reg_geom_blocks then (Flash.config ctrl.fl).Flash.num_blocks
+    else if offset = reg_geom_words then
+      (Flash.config ctrl.fl).Flash.words_per_block
+    else 0
+  in
+  let write offset value =
+    if offset = reg_cmd then execute ctrl value
+    else if offset = reg_addr then ctrl.addr <- value
+    else if offset = reg_data then ctrl.data <- value
+    (* other registers read-only *)
+  in
+  { Cpu.Bus.dev_name = "flash-ctrl"; base; size = 8; read; write }
+
+let window_device ctrl ~base ~size =
+  {
+    Cpu.Bus.dev_name = "flash-window";
+    base;
+    size;
+    read = (fun offset -> safe_read ctrl offset);
+    write = (fun _ _ -> ());
+  }

@@ -1,0 +1,1 @@
+lib/logic/fltl_lexer.mli:

@@ -1,0 +1,1 @@
+lib/logic/fltl_parser.ml: Fltl_lexer Formula Printf

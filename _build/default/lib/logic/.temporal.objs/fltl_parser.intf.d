@@ -1,0 +1,1 @@
+lib/logic/fltl_parser.mli: Fltl_lexer Formula

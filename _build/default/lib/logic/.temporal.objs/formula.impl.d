@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Format Hashtbl Int List Printf Set String

@@ -1,0 +1,1 @@
+lib/logic/proposition.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/logic/psl.ml: Fltl_lexer Formula Printf

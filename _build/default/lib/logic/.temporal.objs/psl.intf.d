@@ -1,0 +1,1 @@
+lib/logic/psl.mli: Fltl_lexer Formula

@@ -1,0 +1,1 @@
+lib/logic/verdict.ml: Format

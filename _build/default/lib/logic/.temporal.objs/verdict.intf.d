@@ -1,0 +1,1 @@
+lib/logic/verdict.mli: Format

@@ -1,0 +1,48 @@
+(** Shared lexer for the FLTL and PSL property syntaxes.
+
+    Reserved words (case-sensitive): [X F G U R true false] and the PSL
+    keywords [always never eventually next until release abort and or not
+    implies iff]. Everything else matching [[A-Za-z_][A-Za-z0-9_]*] is a
+    proposition name. Comments: [/* ... */] and [// ...]. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | BANG
+  | AMP
+  | BAR
+  | ARROW  (** [->] *)
+  | IFF_OP  (** [<->] *)
+  | KW_TRUE
+  | KW_FALSE
+  | KW_X
+  | KW_F
+  | KW_G
+  | KW_U
+  | KW_R
+  | KW_ALWAYS
+  | KW_NEVER
+  | KW_EVENTUALLY
+  | KW_NEXT
+  | KW_UNTIL
+  | KW_RELEASE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_IMPLIES
+  | KW_IFF
+  | EOF
+
+type position = { line : int; column : int }
+
+exception Lex_error of string * position
+
+val token_to_string : token -> string
+
+(** [tokenize text] is the token stream with source positions.
+    @raise Lex_error on illegal characters or unterminated comments. *)
+val tokenize : string -> (token * position) list

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the FLTL property syntax.
+
+    Grammar (lowest to highest precedence):
+    {v
+      formula  := implied ( '<->' implied )*
+      implied  := ored ( '->' implied )?            (right associative)
+      ored     := anded ( ('|' | 'or') anded )*
+      anded    := untiled ( ('&' | 'and') untiled )*
+      untiled  := unary ( ('U' | 'R') bound? untiled )?
+      unary    := ('!' | 'not') unary
+                | 'X' unary
+                | ('F' | 'G') bound? unary
+                | atom
+      atom     := 'true' | 'false' | IDENT | '(' formula ')'
+      bound    := '[' INT ']'
+    v}
+
+    The paper's sample property "F (Read -> F[b] (EEE_OK | ...))" parses with
+    this grammar. *)
+
+exception Parse_error of string * Fltl_lexer.position
+
+val parse : string -> Formula.t
+(** @raise Parse_error and {!Fltl_lexer.Lex_error} on malformed input. *)
+
+val parse_result : string -> (Formula.t, string) result
+(** Like {!parse}, with errors rendered as a message. *)

@@ -1,0 +1,26 @@
+(** PSL (Property Specification Language) foundation-language subset.
+
+    SCTC accepts properties in PSL or FLTL; this module parses the PSL FL
+    operators the paper's flow needs and maps them onto the FLTL core:
+
+    {v
+      always p          ==> G p
+      never p           ==> G !p
+      eventually! p     ==> F p
+      next p            ==> X p
+      next[n] p         ==> X^n p
+      p until! q        ==> p U q        (strong)
+      p until q         ==> q R (p | q)  (weak until)
+      p release q       ==> p R q
+      not/and/or/implies/iff and the symbol forms
+    v}
+
+    SEREs (sequence expressions) are out of scope — the paper's property set
+    uses only the FL subset above. *)
+
+exception Parse_error of string * Fltl_lexer.position
+
+val parse : string -> Formula.t
+(** @raise Parse_error and {!Fltl_lexer.Lex_error} on malformed input. *)
+
+val parse_result : string -> (Formula.t, string) result

@@ -1,0 +1,18 @@
+type t = True | False | Pending
+
+let equal a b = a = b
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Pending -> "pending"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let combine a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | Pending, _ | _, Pending -> Pending
+  | True, True -> True
+
+let is_final = function True | False -> true | Pending -> false

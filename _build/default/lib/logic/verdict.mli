@@ -1,0 +1,15 @@
+(** Three-valued verdicts of the multi-valued AR-automata (Ruf et al.):
+    a property on a finite trace is validated, violated, or still pending. *)
+
+type t = True | False | Pending
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Conjunction in the Kleene ordering: [False] dominates, [Pending] absorbs
+    [True]. Used when combining verdicts of several monitors. *)
+val combine : t -> t -> t
+
+val is_final : t -> bool
+(** [True] and [False] are absorbing: the automaton never leaves them. *)

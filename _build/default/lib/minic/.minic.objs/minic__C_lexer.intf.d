@@ -1,0 +1,1 @@
+lib/minic/c_lexer.mli: Ast

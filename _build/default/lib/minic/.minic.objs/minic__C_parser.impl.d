@@ -1,0 +1,1 @@
+lib/minic/c_parser.ml: Ast C_lexer Hashtbl List Printf Value

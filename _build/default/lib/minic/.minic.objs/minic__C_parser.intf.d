@@ -1,0 +1,1 @@
+lib/minic/c_parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Hashtbl List Option Printf String Typecheck Value

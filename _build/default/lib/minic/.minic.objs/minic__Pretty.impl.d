@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/minic/pretty.mli: Ast Format

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for MiniC.
+
+    Top level accepts, in any order:
+    - [const int NAME = <const-expr>;] — compile-time constants, usable in
+      array sizes and case labels;
+    - global declarations [int x;], [bool f = true;], [int a[N];];
+    - function definitions.
+
+    Statement-position intrinsic calls are recognized and turned into their
+    dedicated statement forms: [assert(e);], [assume(e);], [halt();] and
+    [mem_write(a, v);]. The sugar [x++;], [x--;], [x += e;], [x -= e;] is
+    desugared into plain assignments. *)
+
+exception Parse_error of string * Ast.position
+
+val parse : string -> Ast.program
+(** @raise Parse_error and {!C_lexer.Lex_error} on malformed input. *)
+
+val parse_result : string -> (Ast.program, string) result
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and property tooling). *)

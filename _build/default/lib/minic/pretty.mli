@@ -1,0 +1,10 @@
+(** MiniC pretty-printer. Emits compilable MiniC source; [parse (print p)]
+    yields a structurally identical program, which the test suite checks by
+    print idempotence. Used by the instrumentation passes (Spec inlining,
+    C2SystemC) to materialize transformed programs. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

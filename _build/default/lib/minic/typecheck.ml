@@ -1,0 +1,330 @@
+type error = { message : string; pos : Ast.position }
+
+exception Type_error of error
+
+let fail pos fmt =
+  Printf.ksprintf (fun message -> raise (Type_error { message; pos })) fmt
+
+type info = {
+  tc_program : Ast.program;
+  tc_func_ids : (string * int) list;
+  tc_globals : (string * Ast.typ) list; (* non-const, declaration order *)
+  tc_consts : (string * int) list;
+}
+
+let program info = info.tc_program
+let func_id info name = List.assoc name info.tc_func_ids
+
+let func_name_of_id info id =
+  List.find_map
+    (fun (name, fid) -> if fid = id then Some name else None)
+    info.tc_func_ids
+
+let func_ids info = info.tc_func_ids
+let global_type info name = List.assoc_opt name info.tc_globals
+let globals info = info.tc_globals
+let constants info = info.tc_consts
+let const_value info name = List.assoc_opt name info.tc_consts
+
+(* ------------------------------------------------------------------ *)
+
+type value_type = Vint | Vbool
+
+
+(* int and bool coerce freely, per C practice *)
+let scalar_of_typ pos = function
+  | Ast.Tint -> Vint
+  | Ast.Tbool -> Vbool
+  | Ast.Tvoid -> fail pos "void is not a value type"
+  | Ast.Tarray _ -> fail pos "array used as a scalar"
+
+type env = {
+  info_globals : (string, Ast.global) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable scopes : (string, value_type) Hashtbl.t list; (* innermost first *)
+  current : Ast.func;
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let declare_local env pos name vtype =
+  match env.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then
+      fail pos "redeclaration of %s in the same scope" name;
+    Hashtbl.replace scope name vtype
+  | [] -> assert false
+
+let lookup_local env name =
+  List.find_map (fun scope -> Hashtbl.find_opt scope name) env.scopes
+
+(* ------------------------------------------------------------------ *)
+
+let rec check_expr env (e : Ast.expr) : value_type =
+  let pos = e.epos in
+  match e.edesc with
+  | Ast.Int_lit _ -> Vint
+  | Ast.Bool_lit _ -> Vbool
+  | Ast.Var name -> (
+    match lookup_local env name with
+    | Some vtype -> vtype
+    | None -> (
+      match Hashtbl.find_opt env.info_globals name with
+      | Some { g_type = Ast.Tarray _; _ } ->
+        fail pos "array %s used without an index" name
+      | Some g -> scalar_of_typ pos g.g_type
+      | None -> fail pos "unknown variable %s" name))
+  | Ast.Index (name, index) -> (
+    ignore (expect_int env index);
+    match lookup_local env name with
+    | Some _ -> fail pos "%s is a scalar, not an array" name
+    | None -> (
+      match Hashtbl.find_opt env.info_globals name with
+      | Some { g_type = Ast.Tarray _; _ } -> Vint
+      | Some _ -> fail pos "%s is a scalar, not an array" name
+      | None -> fail pos "unknown array %s" name))
+  | Ast.Unop (Ast.Neg, inner) | Ast.Unop (Ast.Bitnot, inner) ->
+    ignore (expect_int env inner);
+    Vint
+  | Ast.Unop (Ast.Lognot, inner) ->
+    ignore (check_expr env inner);
+    Vbool
+  | Ast.Binop (op, a, b) -> (
+    match op with
+    | Ast.Land | Ast.Lor ->
+      ignore (check_expr env a);
+      ignore (check_expr env b);
+      Vbool
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      ignore (check_expr env a);
+      ignore (check_expr env b);
+      Vbool
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+    | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      ignore (expect_int env a);
+      ignore (expect_int env b);
+      Vint)
+  | Ast.Call (name, args) -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> fail pos "call to unknown function %s" name
+    | Some func ->
+      if List.length args <> List.length func.f_params then
+        fail pos "%s expects %d argument(s), got %d" name
+          (List.length func.f_params) (List.length args);
+      List.iter (fun arg -> ignore (check_expr env arg)) args;
+      (match func.f_ret with
+      | Ast.Tvoid -> fail pos "void function %s used as a value" name
+      | other -> scalar_of_typ pos other))
+  | Ast.Nondet (lo, hi) ->
+    ignore (expect_int env lo);
+    ignore (expect_int env hi);
+    Vint
+  | Ast.Mem_read addr ->
+    ignore (expect_int env addr);
+    Vint
+
+and expect_int env (e : Ast.expr) =
+  match check_expr env e with
+  | Vint -> Vint
+  | Vbool -> Vint (* bool coerces to int, C-style *)
+
+let check_lvalue env pos = function
+  | Ast.Lvar name -> (
+    match lookup_local env name with
+    | Some vtype -> vtype
+    | None -> (
+      match Hashtbl.find_opt env.info_globals name with
+      | Some { g_const = true; _ } -> fail pos "assignment to constant %s" name
+      | Some { g_type = Ast.Tarray _; _ } ->
+        fail pos "cannot assign to whole array %s" name
+      | Some g -> scalar_of_typ pos g.g_type
+      | None -> fail pos "unknown variable %s" name))
+  | Ast.Lindex (name, index) -> (
+    ignore (expect_int env index);
+    match Hashtbl.find_opt env.info_globals name with
+    | Some { g_type = Ast.Tarray _; _ } -> Vint
+    | Some _ | None -> fail pos "%s is not an array" name)
+  | Ast.Lmem addr ->
+    ignore (expect_int env addr);
+    Vint
+
+let rec check_stmt env (s : Ast.stmt) =
+  let pos = s.spos in
+  match s.sdesc with
+  | Ast.Block body ->
+    push_scope env;
+    List.iter (check_stmt env) body;
+    pop_scope env
+  | Ast.Decl (name, typ, init) ->
+    let vtype = scalar_of_typ pos typ in
+    Option.iter (fun e -> ignore (check_expr env e)) init;
+    declare_local env pos name vtype
+  | Ast.Expr e -> (
+    match e.edesc with
+    | Ast.Call (name, _) ->
+      (* void calls are fine in statement position *)
+      (match Hashtbl.find_opt env.funcs name with
+      | None -> fail e.epos "call to unknown function %s" name
+      | Some func ->
+        let args =
+          match e.edesc with Ast.Call (_, args) -> args | _ -> []
+        in
+        if List.length args <> List.length func.f_params then
+          fail e.epos "%s expects %d argument(s), got %d" name
+            (List.length func.f_params) (List.length args);
+        List.iter (fun arg -> ignore (check_expr env arg)) args)
+    | _ -> ignore (check_expr env e))
+  | Ast.Assign (lhs, e) ->
+    ignore (check_lvalue env pos lhs);
+    ignore (check_expr env e)
+  | Ast.If (cond, then_s, else_s) ->
+    ignore (check_expr env cond);
+    check_stmt env then_s;
+    Option.iter (check_stmt env) else_s
+  | Ast.While (cond, body) ->
+    ignore (check_expr env cond);
+    env.loop_depth <- env.loop_depth + 1;
+    check_stmt env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Ast.Do_while (body, cond) ->
+    env.loop_depth <- env.loop_depth + 1;
+    check_stmt env body;
+    env.loop_depth <- env.loop_depth - 1;
+    ignore (check_expr env cond)
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (check_stmt env) init;
+    Option.iter (fun e -> ignore (check_expr env e)) cond;
+    Option.iter (check_stmt env) step;
+    env.loop_depth <- env.loop_depth + 1;
+    check_stmt env body;
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env
+  | Ast.Switch (scrutinee, cases) ->
+    ignore (expect_int env scrutinee);
+    let seen = Hashtbl.create 8 in
+    let defaults = ref 0 in
+    List.iter
+      (fun case ->
+        List.iter
+          (function
+            | Ast.Case value ->
+              if Hashtbl.mem seen value then
+                fail pos "duplicate case label %d" value;
+              Hashtbl.replace seen value ()
+            | Ast.Default ->
+              incr defaults;
+              if !defaults > 1 then fail pos "duplicate default label")
+          case.Ast.labels)
+      cases;
+    env.switch_depth <- env.switch_depth + 1;
+    push_scope env;
+    List.iter
+      (fun case -> List.iter (check_stmt env) case.Ast.body)
+      cases;
+    pop_scope env;
+    env.switch_depth <- env.switch_depth - 1
+  | Ast.Break ->
+    if env.loop_depth = 0 && env.switch_depth = 0 then
+      fail pos "break outside loop or switch"
+  | Ast.Continue -> if env.loop_depth = 0 then fail pos "continue outside loop"
+  | Ast.Return value -> (
+    match env.current.f_ret, value with
+    | Ast.Tvoid, Some _ -> fail pos "void function returns a value"
+    | Ast.Tvoid, None -> ()
+    | _, None -> fail pos "non-void function returns no value"
+    | _, Some e -> ignore (check_expr env e))
+  | Ast.Assert e | Ast.Assume e -> ignore (check_expr env e)
+  | Ast.Halt -> ()
+
+(* global initializers must be state-free *)
+let rec check_init_expr globals (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Int_lit _ | Ast.Bool_lit _ -> ()
+  | Ast.Var name ->
+    if not (Hashtbl.mem globals name) then
+      fail e.epos "unknown variable %s in initializer" name
+  | Ast.Unop (_, inner) -> check_init_expr globals inner
+  | Ast.Binop (_, a, b) ->
+    check_init_expr globals a;
+    check_init_expr globals b
+  | Ast.Call _ | Ast.Nondet _ | Ast.Mem_read _ | Ast.Index _ ->
+    fail e.epos "global initializer must be a constant expression"
+
+let check (prog : Ast.program) =
+  let info_globals : (string, Ast.global) Hashtbl.t = Hashtbl.create 64 in
+  let funcs : (string, Ast.func) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem info_globals g.g_name then
+        fail g.g_pos "duplicate global %s" g.g_name;
+      check_init_expr info_globals
+        (match g.g_init with
+        | Some e -> e
+        | None -> Ast.int_lit 0);
+      Hashtbl.replace info_globals g.g_name g)
+    prog.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.f_name then
+        fail f.f_pos "duplicate function %s" f.f_name;
+      if Hashtbl.mem info_globals f.f_name then
+        fail f.f_pos "%s is already a global variable" f.f_name;
+      Hashtbl.replace funcs f.f_name f)
+    prog.funcs;
+  List.iter
+    (fun (f : Ast.func) ->
+      let env =
+        {
+          info_globals;
+          funcs;
+          scopes = [];
+          current = f;
+          loop_depth = 0;
+          switch_depth = 0;
+        }
+      in
+      push_scope env;
+      let seen_params = Hashtbl.create 8 in
+      List.iter
+        (fun (name, typ) ->
+          if Hashtbl.mem seen_params name then
+            fail f.f_pos "duplicate parameter %s in %s" name f.f_name;
+          Hashtbl.replace seen_params name ();
+          declare_local env f.f_pos name (scalar_of_typ f.f_pos typ))
+        f.f_params;
+      List.iter (check_stmt env) f.f_body)
+    prog.funcs;
+  let tc_func_ids = List.mapi (fun i f -> (f.Ast.f_name, i + 1)) prog.funcs in
+  let tc_globals =
+    List.filter_map
+      (fun (g : Ast.global) ->
+        if g.g_const then None else Some (g.g_name, g.g_type))
+      prog.globals
+  in
+  let tc_consts =
+    List.filter_map
+      (fun (g : Ast.global) ->
+        if not g.g_const then None
+        else
+          match g.g_init with
+          | Some { edesc = Ast.Int_lit v; _ } -> Some (g.g_name, v)
+          | Some { edesc = Ast.Bool_lit b; _ } ->
+            Some (g.g_name, Value.of_bool b)
+          | _ -> None)
+      prog.globals
+  in
+  { tc_program = prog; tc_func_ids; tc_globals; tc_consts }
+
+let check_result prog =
+  match check prog with
+  | info -> Ok info
+  | exception Type_error { message; pos } ->
+    Error (Printf.sprintf "%d:%d: %s" pos.Ast.line pos.Ast.column message)

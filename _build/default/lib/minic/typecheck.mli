@@ -1,0 +1,45 @@
+(** Static checks for MiniC programs.
+
+    MiniC follows C's permissive treatment of booleans: [int] and [bool]
+    coerce into each other freely (conditions accept both), but structural
+    errors are rejected: unknown identifiers, wrong arities, using a [void]
+    call as a value, indexing a scalar or using an array without an index,
+    assigning to constants or whole arrays, [break]/[continue] outside a
+    loop or switch, duplicate case labels, and calls/[nondet]/memory access
+    in global initializers.
+
+    Checking also assigns every function a stable numeric id (declaration
+    order, starting at 1) — the value the instrumentation passes store into
+    the [fname] tracking variable so function sequencing can be referenced
+    from temporal properties (paper, Section 3.1 step c). *)
+
+type error = { message : string; pos : Ast.position }
+
+exception Type_error of error
+
+type info
+
+val check : Ast.program -> info
+(** @raise Type_error on the first violation found. *)
+
+val check_result : Ast.program -> (info, string) result
+
+val program : info -> Ast.program
+
+val func_id : info -> string -> int
+(** @raise Not_found for unknown functions. *)
+
+val func_name_of_id : info -> int -> string option
+
+val func_ids : info -> (string * int) list
+(** All functions with their ids, in declaration order. *)
+
+val global_type : info -> string -> Ast.typ option
+
+val globals : info -> (string * Ast.typ) list
+(** Non-const globals in declaration order (the memory layout order). *)
+
+val constants : info -> (string * int) list
+(** Const globals with their values. *)
+
+val const_value : info -> string -> int option

@@ -1,0 +1,1 @@
+lib/platform/esw_monitor.ml: Mcc Sctc Sim Soc

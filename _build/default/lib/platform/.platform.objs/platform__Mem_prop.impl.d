@@ -1,0 +1,1 @@
+lib/platform/mem_prop.ml: List Mcc Printf Proposition Sctc Soc

@@ -1,0 +1,1 @@
+lib/platform/mem_prop.mli: Proposition Sctc Soc

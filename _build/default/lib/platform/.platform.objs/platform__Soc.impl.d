@@ -1,0 +1,1 @@
+lib/platform/soc.ml: Cpu Dataflash List Mailbox Mcc Sim Stimuli

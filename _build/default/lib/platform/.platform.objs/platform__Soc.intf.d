@@ -1,0 +1,1 @@
+lib/platform/soc.mli: Cpu Dataflash Mailbox Mcc Sim Stimuli

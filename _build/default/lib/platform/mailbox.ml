@@ -1,0 +1,59 @@
+type t = {
+  mutable req_valid : int;
+  mutable req_op : int;
+  mutable req_arg0 : int;
+  mutable req_arg1 : int;
+  mutable resp_valid : int;
+  mutable resp_value : int;
+}
+
+let reg_req_valid = 0
+let reg_req_op = 1
+let reg_req_arg0 = 2
+let reg_req_arg1 = 3
+let reg_resp_valid = 4
+let reg_resp_value = 5
+
+let create () =
+  {
+    req_valid = 0;
+    req_op = 0;
+    req_arg0 = 0;
+    req_arg1 = 0;
+    resp_valid = 0;
+    resp_value = 0;
+  }
+
+let device mailbox ~base =
+  let read offset =
+    if offset = reg_req_valid then mailbox.req_valid
+    else if offset = reg_req_op then mailbox.req_op
+    else if offset = reg_req_arg0 then mailbox.req_arg0
+    else if offset = reg_req_arg1 then mailbox.req_arg1
+    else if offset = reg_resp_valid then mailbox.resp_valid
+    else if offset = reg_resp_value then mailbox.resp_value
+    else 0
+  in
+  let write offset value =
+    if offset = reg_req_valid then mailbox.req_valid <- value
+    else if offset = reg_resp_valid then mailbox.resp_valid <- value
+    else if offset = reg_resp_value then mailbox.resp_value <- value
+    (* request fields are written by the testbench only *)
+  in
+  { Cpu.Bus.dev_name = "mailbox"; base; size = 6; read; write }
+
+let post_request mailbox ~op ~arg0 ~arg1 =
+  if mailbox.req_valid <> 0 then
+    invalid_arg "Mailbox.post_request: request still pending";
+  mailbox.req_op <- op;
+  mailbox.req_arg0 <- arg0;
+  mailbox.req_arg1 <- arg1;
+  mailbox.req_valid <- 1
+
+let request_pending mailbox = mailbox.req_valid <> 0
+let response_ready mailbox = mailbox.resp_valid <> 0
+
+let take_response mailbox =
+  if mailbox.resp_valid = 0 then invalid_arg "Mailbox.take_response: none";
+  mailbox.resp_valid <- 0;
+  mailbox.resp_value

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Effect Fmt Heap List Queue

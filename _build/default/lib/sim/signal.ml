@@ -1,0 +1,40 @@
+type 'a t = {
+  s_name : string;
+  kernel : Kernel.t;
+  eq : 'a -> 'a -> bool;
+  mutable current : 'a;
+  mutable next : 'a;
+  mutable update_pending : bool;
+  changed_event : Kernel.event;
+}
+
+let create kernel ~name ?(eq = ( = )) init =
+  {
+    s_name = name;
+    kernel;
+    eq;
+    current = init;
+    next = init;
+    update_pending = false;
+    changed_event = Kernel.event kernel (name ^ ".changed");
+  }
+
+let name signal = signal.s_name
+let read signal = signal.current
+let changed signal = signal.changed_event
+
+let write signal value =
+  signal.next <- value;
+  if not signal.update_pending then begin
+    signal.update_pending <- true;
+    let commit () =
+      signal.update_pending <- false;
+      if not (signal.eq signal.current signal.next) then begin
+        signal.current <- signal.next;
+        Kernel.notify signal.changed_event
+      end
+    in
+    Kernel.schedule_update signal.kernel commit
+  end
+
+let wait_change signal = Kernel.wait_event signal.changed_event

@@ -1,0 +1,23 @@
+(** Signals with SystemC [sc_signal] update semantics: writes are committed
+    in the update phase of the current delta cycle, and a value change
+    notifies the signal's [changed] event as a delta notification. *)
+
+type 'a t
+
+(** [create kernel ~name ~eq init] makes a signal with initial value [init].
+    [eq] decides whether a write constitutes a change (defaults to [(=)]). *)
+val create : Kernel.t -> name:string -> ?eq:('a -> 'a -> bool) -> 'a -> 'a t
+
+val name : 'a t -> string
+
+val read : 'a t -> 'a
+(** Current (committed) value. *)
+
+val write : 'a t -> 'a -> unit
+(** Schedule a new value for the update phase; last write in a delta wins. *)
+
+val changed : 'a t -> Kernel.event
+(** Event notified (delta) whenever the committed value changes. *)
+
+val wait_change : 'a t -> unit
+(** Suspend the calling process until the signal value changes. *)

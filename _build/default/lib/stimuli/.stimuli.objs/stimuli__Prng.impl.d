@@ -1,0 +1,1 @@
+lib/stimuli/prng.ml: Char Int64 List Printf String

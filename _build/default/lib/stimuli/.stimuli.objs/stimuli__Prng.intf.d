@@ -1,0 +1,1 @@
+lib/stimuli/prng.mli:

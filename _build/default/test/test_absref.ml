@@ -1,0 +1,362 @@
+(* Tests for the abstraction-refinement checker: linear expressions,
+   Fourier-Motzkin, the normalization pass (checked behaviourally against
+   the interpreter), and end-to-end CEGAR runs. *)
+
+module L = Absref.Linexpr
+module FM = Absref.Fourier_motzkin
+module Normalize = Absref.Normalize
+module Cegar = Absref.Cegar
+
+let info_of source = Minic.Typecheck.check (Minic.C_parser.parse source)
+
+(* --- linexpr ------------------------------------------------------------- *)
+
+let test_linexpr_algebra () =
+  let x = L.var "x" and y = L.var "y" in
+  let e = L.add (L.scale 2 x) (L.sub y (L.const 3)) in
+  Alcotest.(check int) "coeff x" 2 (L.coeff e "x");
+  Alcotest.(check int) "coeff y" 1 (L.coeff e "y");
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (L.vars e);
+  (* substitute x := y + 1: 2(y+1) + y - 3 = 3y - 1 *)
+  let e' = L.subst e "x" (L.add y (L.const 1)) in
+  Alcotest.(check int) "subst coeff y" 3 (L.coeff e' "y");
+  Alcotest.(check int) "subst coeff x" 0 (L.coeff e' "x");
+  Alcotest.(check bool) "cancellation" true
+    (L.is_const (L.sub x x) = Some 0)
+
+let test_linexpr_negate_atom () =
+  (* ¬(x - 5 <= 0) = (6 - x <= 0), i.e. x >= 6 *)
+  let atom = L.sub (L.var "x") (L.const 5) in
+  let neg = L.negate_atom atom in
+  Alcotest.(check int) "coeff" (-1) (L.coeff neg "x");
+  Alcotest.(check bool) "double negation equiv" true
+    (L.equal (L.negate_atom neg) atom)
+
+let test_linexpr_of_expr () =
+  let parse = Minic.C_parser.parse_expr in
+  let lookup = function "K" -> Some 7 | _ -> None in
+  (match L.of_expr lookup (parse "2 * x + y - K") with
+  | Some e ->
+    Alcotest.(check int) "2x" 2 (L.coeff e "x");
+    Alcotest.(check int) "K folded" 0 (L.coeff e "K")
+  | None -> Alcotest.fail "linear expression rejected");
+  (match L.of_expr lookup (parse "x * y") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "product of variables is not linear");
+  match L.of_expr lookup (parse "x & 3") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bitand is not linear"
+
+(* --- fourier-motzkin ------------------------------------------------------- *)
+
+let atom_le a b = L.sub a b (* a <= b *)
+
+let test_fm_basics () =
+  let x = L.var "x" and y = L.var "y" in
+  (* x <= 5 and x >= 10: unsat *)
+  Alcotest.(check bool) "box unsat" false
+    (FM.satisfiable [ atom_le x (L.const 5); atom_le (L.const 10) x ]);
+  (* x <= 5 and x >= 3: sat *)
+  Alcotest.(check bool) "box sat" true
+    (FM.satisfiable [ atom_le x (L.const 5); atom_le (L.const 3) x ]);
+  (* transitivity: x <= y, y <= z, z <= x - 1: unsat *)
+  let z = L.var "z" in
+  Alcotest.(check bool) "cycle unsat" false
+    (FM.satisfiable
+       [ atom_le x y; atom_le y z; atom_le z (L.sub x (L.const 1)) ]);
+  Alcotest.(check bool) "empty sat" true (FM.satisfiable [])
+
+let test_fm_entailment () =
+  let x = L.var "x" in
+  (* x <= 3 entails x <= 5 *)
+  Alcotest.(check bool) "weakening" true
+    (FM.entails [ atom_le x (L.const 3) ] (atom_le x (L.const 5)));
+  Alcotest.(check bool) "no strengthening" false
+    (FM.entails [ atom_le x (L.const 5) ] (atom_le x (L.const 3)));
+  (* x <= y and y <= 3 entail x <= 3 *)
+  let y = L.var "y" in
+  Alcotest.(check bool) "chaining" true
+    (FM.entails [ atom_le x y; atom_le y (L.const 3) ] (atom_le x (L.const 3)))
+
+(* soundness vs brute force over a small integer box *)
+let qcheck_fm_soundness =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6)
+        (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-6) 6)))
+  in
+  QCheck.Test.make ~name:"FM unsat => no integer point" ~count:300
+    (QCheck.make
+       ~print:(fun atoms ->
+         String.concat ", "
+           (List.map
+              (fun (a, b, c) -> Printf.sprintf "%dx + %dy + %d <= 0" a b c)
+              atoms))
+       gen)
+    (fun triples ->
+      let atoms =
+        List.map
+          (fun (a, b, c) ->
+            L.add
+              (L.add (L.scale a (L.var "x")) (L.scale b (L.var "y")))
+              (L.const c))
+          triples
+      in
+      let integer_point_exists =
+        let found = ref false in
+        for x = -10 to 10 do
+          for y = -10 to 10 do
+            if
+              (not !found)
+              && List.for_all
+                   (fun (a, b, c) -> (a * x) + (b * y) + c <= 0)
+                   triples
+            then found := true
+          done
+        done;
+        !found
+      in
+      let fm_sat = FM.satisfiable atoms in
+      (* rational sat is an over-approximation of integer sat *)
+      (not integer_point_exists) || fm_sat)
+
+(* --- normalization: behaviour preserved ------------------------------------- *)
+
+let run_program info =
+  let env = Minic.Interp.create info in
+  let hooks = Minic.Interp.default_hooks () in
+  match Minic.Interp.run env hooks ~entry:"main" with
+  | Minic.Interp.Finished v -> (v, Minic.Interp.globals_snapshot env)
+  | _ -> Alcotest.fail "program did not finish"
+
+let test_normalize_preserves_behaviour () =
+  let source =
+    {|
+      int g;
+      int h;
+      int helper(int v) { g = g + v; return v * 2; }
+      int main(void) {
+        int acc = 0;
+        int i;
+        for (i = 0; i < 5; i++) {
+          acc += helper(i);
+        }
+        do { h = h + 1; } while (h < 3);
+        while (helper(1) < 2 && acc < 100) { acc = acc + 1; }
+        return acc + g + h;
+      }
+    |}
+  in
+  let info = info_of source in
+  let normalized = Normalize.program info in
+  let r1, g1 = run_program info in
+  let r2, g2 = run_program normalized in
+  Alcotest.(check (option int)) "same result" r1 r2;
+  Alcotest.(check (list (pair string int))) "same globals" g1 g2
+
+let test_normalize_removes_sugar_loops () =
+  let info = info_of "void main(void) { int i; for (i = 0; i < 3; i++) { } do { } while (false); }" in
+  let normalized = Normalize.program info in
+  let has_forbidden = ref false in
+  Minic.Ast.iter_stmts_program
+    (fun s ->
+      match s.Minic.Ast.sdesc with
+      | Minic.Ast.For _ | Minic.Ast.Do_while _ -> has_forbidden := true
+      | _ -> ())
+    (Minic.Typecheck.program normalized);
+  Alcotest.(check bool) "no for/do-while left" false !has_forbidden
+
+(* --- cegar ---------------------------------------------------------------------- *)
+
+let check ?max_predicates ?max_art_nodes ?timeout_seconds source =
+  Cegar.check ?max_predicates ?max_art_nodes ?timeout_seconds (info_of source)
+
+let test_cegar_safe_loop () =
+  let report =
+    check
+      {|
+        int main(void) {
+          int x = 0;
+          while (x < 10) { x = x + 1; }
+          assert(x >= 10);
+          return 0;
+        }
+      |}
+  in
+  (match report.Cegar.result with
+  | Cegar.Safe -> ()
+  | _ -> Alcotest.fail "expected safe");
+  Alcotest.(check bool) "needed refinement" true (report.Cegar.iterations >= 1)
+
+let test_cegar_finds_bug () =
+  let report =
+    check
+      {|
+        int main(void) {
+          int x = nondet(0, 100);
+          if (x > 50) {
+            assert(x <= 49);
+          }
+          return 0;
+        }
+      |}
+  in
+  match report.Cegar.result with
+  | Cegar.Bug _ -> ()
+  | _ -> Alcotest.fail "expected bug"
+
+let test_cegar_nondet_ranges () =
+  let report =
+    check
+      {|
+        int main(void) {
+          int v = nondet(3, 8);
+          assert(v >= 3);
+          assert(v <= 8);
+          return 0;
+        }
+      |}
+  in
+  (match report.Cegar.result with
+  | Cegar.Safe -> ()
+  | _ -> Alcotest.fail "range facts should be provable");
+  let report2 =
+    check
+      {|
+        int main(void) {
+          int v = nondet(3, 8);
+          assert(v <= 7);
+          return 0;
+        }
+      |}
+  in
+  match report2.Cegar.result with
+  | Cegar.Bug _ -> ()
+  | _ -> Alcotest.fail "v = 8 violates the assertion"
+
+let test_cegar_branch_join () =
+  let report =
+    check
+      {|
+        int main(void) {
+          int x = nondet(0, 20);
+          int y;
+          if (x >= 10) { y = x - 10; } else { y = 10 - x; }
+          assert(y >= 0);
+          assert(y <= 10);
+          return 0;
+        }
+      |}
+  in
+  match report.Cegar.result with
+  | Cegar.Safe -> ()
+  | _ -> Alcotest.fail "absolute-difference facts should be provable"
+
+let test_cegar_function_inlining () =
+  let report =
+    check
+      {|
+        int clamp(int v) {
+          if (v > 100) { return 100; }
+          return v;
+        }
+        int g;
+        void store(int v) { g = v; }
+        int main(void) {
+          store(clamp(nondet(0, 500)));
+          assert(g >= 0 || g < 0);
+          return 0;
+        }
+      |}
+  in
+  (* return-value flow is havocked, so only trivially-true facts hold;
+     the point is that inlined call structure builds and analyses *)
+  match report.Cegar.result with
+  | Cegar.Safe -> ()
+  | _ -> Alcotest.fail "trivial disjunction should be safe"
+
+let test_cegar_gives_up_on_nonlinear () =
+  let report =
+    check
+      {|
+        int main(void) {
+          int x = nondet(2, 5);
+          int y = x * x;
+          assert(y >= 4);
+          return 0;
+        }
+      |}
+  in
+  match report.Cegar.result with
+  | Cegar.Unknown _ | Cegar.Aborted _ -> ()
+  | Cegar.Safe -> Alcotest.fail "x*x is havocked; cannot be proven safe"
+  | Cegar.Bug _ ->
+    (* havocking y over-approximates: reporting a (potentially spurious)
+       bug is also a legal outcome for an over-approximating checker *)
+    ()
+
+let test_cegar_aborts_on_case_study () =
+  (* the paper's observation: BLAST-style analysis of the state-driven
+     EEPROM emulation with an inlined temporal monitor exhausts its
+     resources and aborts with an exception *)
+  let property = Fltl_parser.parse "G (p_called -> F[50] p_done)" in
+  let instrumented =
+    Spec_inline.instrument ~property
+      ~predicates:
+        [ ("p_called", "fname == 1"); ("p_done", "eee_done_ret >= 0") ]
+      (Eee.Eee_program.derive ()).Esw.C2sc.model_info
+  in
+  let report =
+    Cegar.check ~max_predicates:25 ~max_art_nodes:4000 ~timeout_seconds:10.0
+      instrumented
+  in
+  match report.Cegar.result with
+  | Cegar.Aborted _ | Cegar.Unknown _ -> ()
+  | Cegar.Safe -> Alcotest.fail "should not prove the case study quickly"
+  | Cegar.Bug _ ->
+    (* over-approximation may also report a spurious bug it cannot refine;
+       the essential outcome is: no proof *)
+    ()
+
+let suite_linexpr =
+  [
+    Alcotest.test_case "algebra" `Quick test_linexpr_algebra;
+    Alcotest.test_case "atom negation" `Quick test_linexpr_negate_atom;
+    Alcotest.test_case "linearization" `Quick test_linexpr_of_expr;
+  ]
+
+let suite_fm =
+  [
+    Alcotest.test_case "satisfiability" `Quick test_fm_basics;
+    Alcotest.test_case "entailment" `Quick test_fm_entailment;
+    QCheck_alcotest.to_alcotest qcheck_fm_soundness;
+  ]
+
+let suite_normalize =
+  [
+    Alcotest.test_case "behaviour preserved" `Quick
+      test_normalize_preserves_behaviour;
+    Alcotest.test_case "loops lowered" `Quick test_normalize_removes_sugar_loops;
+  ]
+
+let suite_cegar =
+  [
+    Alcotest.test_case "safe loop with refinement" `Quick test_cegar_safe_loop;
+    Alcotest.test_case "finds bug" `Quick test_cegar_finds_bug;
+    Alcotest.test_case "nondet ranges" `Quick test_cegar_nondet_ranges;
+    Alcotest.test_case "branch join" `Quick test_cegar_branch_join;
+    Alcotest.test_case "function inlining" `Quick test_cegar_function_inlining;
+    Alcotest.test_case "gives up on nonlinear" `Quick
+      test_cegar_gives_up_on_nonlinear;
+    Alcotest.test_case "aborts on the case study" `Slow
+      test_cegar_aborts_on_case_study;
+  ]
+
+let () =
+  Alcotest.run "absref"
+    [
+      ("linexpr", suite_linexpr);
+      ("fourier-motzkin", suite_fm);
+      ("normalize", suite_normalize);
+      ("cegar", suite_cegar);
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the stimulus PRNG, the data-flash model and controller, and
+   the testbench mailbox. *)
+
+module Prng = Stimuli.Prng
+module Flash = Dataflash.Flash
+module Flash_ctrl = Dataflash.Flash_ctrl
+module Mailbox = Platform.Mailbox
+module Bus = Cpu.Bus
+
+(* --- prng ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 in
+  let b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_matters () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let base = Prng.create ~seed:9 in
+  let s1 = Prng.split base "flash" in
+  let s2 = Prng.split base "stimulus" in
+  Alcotest.(check bool) "named substreams differ" true
+    (Prng.next_int64 s1 <> Prng.next_int64 s2);
+  (* splitting again with the same name from the same state reproduces *)
+  let s1' = Prng.split base "flash" in
+  ignore (Prng.next_int64 s1');
+  let s1'' = Prng.split base "flash" in
+  Alcotest.(check int64) "reproducible" (Prng.next_int64 s1'')
+    (let fresh = Prng.split base "flash" in
+     Prng.next_int64 fresh)
+
+let qcheck_prng_range =
+  QCheck.Test.make ~name:"int_range stays in range" ~count:500
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let g = Prng.create ~seed:(a + (b * 1000)) in
+      let v = Prng.int_range g ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_prng_pick_weighted () =
+  let g = Prng.create ~seed:5 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.pick_weighted g [ (1, "rare"); (99, "common") ] in
+    Hashtbl.replace counts v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let common = Option.value ~default:0 (Hashtbl.find_opt counts "common") in
+  Alcotest.(check bool) "weighting respected" true (common > 900);
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Prng.pick_weighted: no positive weight") (fun () ->
+      ignore (Prng.pick_weighted g [ (0, "x") ]))
+
+let test_prng_chance_extremes () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance g 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance g 1.0)
+
+(* --- flash model ------------------------------------------------------------ *)
+
+let small_config =
+  {
+    Flash.num_blocks = 2;
+    words_per_block = 8;
+    erase_ticks = 3;
+    write_ticks = 2;
+    write_fail_prob = 0.0;
+    erase_fail_prob = 0.0;
+  }
+
+let tick_n flash n = for _ = 1 to n do Flash.tick flash done
+
+let test_flash_erased_initially () =
+  let flash = Flash.create small_config in
+  Alcotest.(check int) "reads -1" (-1) (Flash.read_word flash 0);
+  Alcotest.(check bool) "blank" true (Flash.is_blank flash ~block:0);
+  Alcotest.(check bool) "ready" true (Flash.status flash = Flash.Ready)
+
+let test_flash_write_lifecycle () =
+  let flash = Flash.create small_config in
+  (match Flash.start_write flash ~addr:3 ~value:77 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write should start");
+  Alcotest.(check bool) "busy during op" true (Flash.status flash = Flash.Busy);
+  (* rejected while busy *)
+  (match Flash.start_write flash ~addr:4 ~value:1 with
+  | Error `Busy -> ()
+  | _ -> Alcotest.fail "expected busy rejection");
+  tick_n flash 2;
+  Alcotest.(check bool) "ready after latency" true
+    (Flash.status flash = Flash.Ready);
+  Alcotest.(check int) "value stored" 77 (Flash.read_word flash 3);
+  Alcotest.(check bool) "no longer blank" false (Flash.is_blank flash ~block:0);
+  (* programming a programmed cell is rejected *)
+  match Flash.start_write flash ~addr:3 ~value:1 with
+  | Error `Not_erased -> ()
+  | _ -> Alcotest.fail "expected not-erased rejection"
+
+let test_flash_erase () =
+  let flash = Flash.create small_config in
+  (match Flash.start_write flash ~addr:1 ~value:5 with Ok () -> () | _ -> assert false);
+  tick_n flash 2;
+  (match Flash.start_erase flash ~block:0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "erase should start");
+  Alcotest.(check int) "latency" 3 (Flash.ticks_remaining flash);
+  tick_n flash 3;
+  Alcotest.(check int) "erased" (-1) (Flash.read_word flash 1);
+  Alcotest.(check bool) "blank again" true (Flash.is_blank flash ~block:0);
+  Alcotest.(check int) "stats" 1 (Flash.erases_completed flash)
+
+let test_flash_fault_injection () =
+  let config = { small_config with write_fail_prob = 1.0 } in
+  let flash = Flash.create config in
+  (match Flash.start_write flash ~addr:0 ~value:42 with Ok () -> () | _ -> assert false);
+  tick_n flash 2;
+  Alcotest.(check bool) "fault state" true (Flash.status flash = Flash.Fault);
+  Alcotest.(check int) "fault counted" 1 (Flash.faults_injected flash);
+  Alcotest.(check bool) "cell corrupted, not erased" true
+    (Flash.read_word flash 0 <> -1 && Flash.read_word flash 0 <> 42);
+  Flash.clear_fault flash;
+  Alcotest.(check bool) "cleared" true (Flash.status flash = Flash.Ready)
+
+let test_flash_bad_block () =
+  let flash = Flash.create small_config in
+  Flash.mark_bad_block flash 1;
+  let addr = 1 * small_config.Flash.words_per_block in
+  (match Flash.start_write flash ~addr ~value:1 with Ok () -> () | _ -> assert false);
+  tick_n flash 2;
+  Alcotest.(check bool) "bad block faults" true (Flash.status flash = Flash.Fault)
+
+let test_flash_reset () =
+  let flash = Flash.create small_config in
+  (match Flash.start_write flash ~addr:0 ~value:9 with Ok () -> () | _ -> assert false);
+  tick_n flash 2;
+  Flash.reset flash;
+  Alcotest.(check int) "erased" (-1) (Flash.read_word flash 0);
+  Alcotest.(check int) "stats cleared" 0 (Flash.writes_completed flash)
+
+(* --- flash controller --------------------------------------------------------- *)
+
+let ctrl_fixture () =
+  let flash = Flash.create small_config in
+  let ctrl = Flash_ctrl.create flash in
+  let bus = Bus.create () in
+  Bus.attach bus (Flash_ctrl.ctrl_device ctrl ~base:0x100);
+  Bus.attach bus (Flash_ctrl.window_device ctrl ~base:0x200 ~size:16);
+  (flash, bus)
+
+let test_ctrl_program_sequence () =
+  let flash, bus = ctrl_fixture () in
+  Bus.write bus (0x100 + Flash_ctrl.reg_addr) 5;
+  Bus.write bus (0x100 + Flash_ctrl.reg_data) 1234;
+  Bus.write bus (0x100 + Flash_ctrl.reg_cmd) Flash_ctrl.cmd_program;
+  Alcotest.(check int) "accepted" Flash_ctrl.result_ok
+    (Bus.read bus (0x100 + Flash_ctrl.reg_result));
+  Alcotest.(check int) "busy" Flash_ctrl.status_busy
+    (Bus.read bus (0x100 + Flash_ctrl.reg_status));
+  tick_n flash 2;
+  Alcotest.(check int) "ready" Flash_ctrl.status_ready
+    (Bus.read bus (0x100 + Flash_ctrl.reg_status));
+  Alcotest.(check int) "data readback via ctrl" 1234
+    (Bus.read bus (0x100 + Flash_ctrl.reg_data));
+  Alcotest.(check int) "window read" 1234 (Bus.read bus (0x200 + 5));
+  (* window is read-only *)
+  Bus.write bus (0x200 + 5) 0;
+  Alcotest.(check int) "window write ignored" 1234 (Bus.read bus (0x200 + 5))
+
+let test_ctrl_blank_and_geometry () =
+  let flash, bus = ctrl_fixture () in
+  Bus.write bus (0x100 + Flash_ctrl.reg_addr) 0;
+  Alcotest.(check int) "blank" 1 (Bus.read bus (0x100 + Flash_ctrl.reg_blank));
+  Alcotest.(check int) "blocks" 2
+    (Bus.read bus (0x100 + Flash_ctrl.reg_geom_blocks));
+  Alcotest.(check int) "words" 8
+    (Bus.read bus (0x100 + Flash_ctrl.reg_geom_words));
+  ignore flash
+
+let test_ctrl_rejections () =
+  let _, bus = ctrl_fixture () in
+  Bus.write bus (0x100 + Flash_ctrl.reg_addr) 999;
+  Bus.write bus (0x100 + Flash_ctrl.reg_cmd) Flash_ctrl.cmd_program;
+  Alcotest.(check int) "bad address" Flash_ctrl.result_bad_address
+    (Bus.read bus (0x100 + Flash_ctrl.reg_result));
+  Bus.write bus (0x100 + Flash_ctrl.reg_cmd) 99;
+  Alcotest.(check int) "unknown cmd" Flash_ctrl.result_bad_address
+    (Bus.read bus (0x100 + Flash_ctrl.reg_result))
+
+(* --- mailbox ------------------------------------------------------------------ *)
+
+let test_mailbox_flow () =
+  let mailbox = Mailbox.create () in
+  let bus = Bus.create () in
+  Bus.attach bus (Mailbox.device mailbox ~base:0x300);
+  Alcotest.(check bool) "no request" false (Mailbox.request_pending mailbox);
+  Mailbox.post_request mailbox ~op:3 ~arg0:10 ~arg1:20;
+  (* software side *)
+  Alcotest.(check int) "req valid" 1 (Bus.read bus (0x300 + Mailbox.reg_req_valid));
+  Alcotest.(check int) "op" 3 (Bus.read bus (0x300 + Mailbox.reg_req_op));
+  Bus.write bus (0x300 + Mailbox.reg_req_valid) 0;
+  Bus.write bus (0x300 + Mailbox.reg_resp_value) 30;
+  Bus.write bus (0x300 + Mailbox.reg_resp_valid) 1;
+  (* testbench side *)
+  Alcotest.(check bool) "response ready" true (Mailbox.response_ready mailbox);
+  Alcotest.(check int) "response" 30 (Mailbox.take_response mailbox);
+  Alcotest.(check bool) "response consumed" false
+    (Mailbox.response_ready mailbox);
+  (* double post protection *)
+  Mailbox.post_request mailbox ~op:1 ~arg0:0 ~arg1:0;
+  match Mailbox.post_request mailbox ~op:2 ~arg0:0 ~arg1:0 with
+  | () -> Alcotest.fail "expected pending rejection"
+  | exception Invalid_argument _ -> ()
+
+let suite_prng =
+  [
+    Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "seed matters" `Quick test_prng_seed_matters;
+    Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+    QCheck_alcotest.to_alcotest qcheck_prng_range;
+    Alcotest.test_case "weighted pick" `Quick test_prng_pick_weighted;
+    Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+  ]
+
+let suite_flash =
+  [
+    Alcotest.test_case "erased initially" `Quick test_flash_erased_initially;
+    Alcotest.test_case "write lifecycle" `Quick test_flash_write_lifecycle;
+    Alcotest.test_case "erase" `Quick test_flash_erase;
+    Alcotest.test_case "fault injection" `Quick test_flash_fault_injection;
+    Alcotest.test_case "bad block" `Quick test_flash_bad_block;
+    Alcotest.test_case "reset" `Quick test_flash_reset;
+  ]
+
+let suite_ctrl =
+  [
+    Alcotest.test_case "program sequence" `Quick test_ctrl_program_sequence;
+    Alcotest.test_case "blank and geometry" `Quick
+      test_ctrl_blank_and_geometry;
+    Alcotest.test_case "rejections" `Quick test_ctrl_rejections;
+  ]
+
+let suite_mailbox = [ Alcotest.test_case "flow" `Quick test_mailbox_flow ]
+
+let () =
+  Alcotest.run "devices"
+    [
+      ("prng", suite_prng);
+      ("flash", suite_flash);
+      ("flash-ctrl", suite_ctrl);
+      ("mailbox", suite_mailbox);
+    ]

@@ -1,0 +1,261 @@
+(* Randomized differential testing: generated MiniC programs must behave
+   identically on the reference interpreter and when compiled to the ISA
+   and executed on the CPU model — return value and final global state.
+   This exercises the code generator (register-stack evaluation, spills,
+   calls, control flow) far beyond the hand-written cases. *)
+
+module Ast = Minic.Ast
+
+(* ---- generator of small well-typed programs ---------------------------- *)
+
+let globals = [ "g0"; "g1"; "g2" ]
+
+(* expressions over the given readable variables; division and modulo get
+   divisors forced non-zero ((e & 7) | 1), shifts are masked by both
+   backends identically so any amount is fine *)
+let gen_expr vars =
+  let open QCheck.Gen in
+  sized_size (int_bound 6) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [
+            map Ast.int_lit (int_range (-1000) 1000);
+            map Ast.var (oneofl vars);
+          ]
+      else
+        let sub = self (n / 2) in
+        let bin op =
+          map2 (fun a b -> Ast.expr (Ast.Binop (op, a, b))) sub sub
+        in
+        let nonzero e =
+          Ast.expr
+            (Ast.Binop
+               ( Ast.Bor,
+                 Ast.expr (Ast.Binop (Ast.Band, e, Ast.int_lit 7)),
+                 Ast.int_lit 1 ))
+        in
+        oneof
+          [
+            map Ast.var (oneofl vars);
+            bin Ast.Add;
+            bin Ast.Sub;
+            bin Ast.Mul;
+            map2
+              (fun a b -> Ast.expr (Ast.Binop (Ast.Div, a, nonzero b)))
+              sub sub;
+            map2
+              (fun a b -> Ast.expr (Ast.Binop (Ast.Mod, a, nonzero b)))
+              sub sub;
+            bin Ast.Band;
+            bin Ast.Bor;
+            bin Ast.Bxor;
+            bin Ast.Shl;
+            bin Ast.Shr;
+            bin Ast.Lt;
+            bin Ast.Le;
+            bin Ast.Eq;
+            bin Ast.Ne;
+            bin Ast.Land;
+            bin Ast.Lor;
+            map (fun a -> Ast.expr (Ast.Unop (Ast.Neg, a))) sub;
+            map (fun a -> Ast.expr (Ast.Unop (Ast.Bitnot, a))) sub;
+            map (fun a -> Ast.expr (Ast.Unop (Ast.Lognot, a))) sub;
+          ])
+
+(* statements: assignments, if/else, bounded for loops, helper calls *)
+let gen_stmts ~with_call =
+  let open QCheck.Gen in
+  let loop_counter = ref 0 in
+  let rec stmts vars depth n =
+    if n <= 0 then return []
+    else
+      stmt vars depth >>= fun s ->
+      stmts vars depth (n - 1) >>= fun rest -> return (s :: rest)
+  and stmt vars depth =
+    let assign =
+      map2
+        (fun target e -> Ast.stmt (Ast.Assign (Ast.Lvar target, e)))
+        (oneofl globals) (gen_expr vars)
+    in
+    let base_choices =
+      [ assign ]
+      @ (if with_call then
+           [
+             map
+               (fun e ->
+                 Ast.stmt
+                   (Ast.Assign
+                      (Ast.Lvar "g0", Ast.expr (Ast.Call ("helper", [ e ])))))
+               (gen_expr vars);
+           ]
+         else [])
+    in
+    if depth <= 0 then oneof base_choices
+    else
+      oneof
+        (base_choices
+        @ [
+            (* if / else *)
+            (gen_expr vars >>= fun cond ->
+             stmts vars (depth - 1) 2 >>= fun then_body ->
+             stmts vars (depth - 1) 2 >>= fun else_body ->
+             return
+               (Ast.stmt
+                  (Ast.If
+                     ( cond,
+                       Ast.stmt (Ast.Block then_body),
+                       Some (Ast.stmt (Ast.Block else_body)) ))));
+            (* bounded counted loop with a fresh counter *)
+            (int_range 1 5 >>= fun iterations ->
+             incr loop_counter;
+             let counter = Printf.sprintf "i%d" !loop_counter in
+             stmts (counter :: vars) (depth - 1) 2 >>= fun body ->
+             return
+               (Ast.stmt
+                  (Ast.For
+                     ( Some
+                         (Ast.stmt
+                            (Ast.Decl (counter, Ast.Tint, Some (Ast.int_lit 0)))),
+                       Some
+                         (Ast.expr
+                            (Ast.Binop
+                               ( Ast.Lt,
+                                 Ast.var counter,
+                                 Ast.int_lit iterations ))),
+                       Some
+                         (Ast.stmt
+                            (Ast.Assign
+                               ( Ast.Lvar counter,
+                                 Ast.expr
+                                   (Ast.Binop
+                                      ( Ast.Add,
+                                        Ast.var counter,
+                                        Ast.int_lit 1 )) ))),
+                       Ast.stmt (Ast.Block body) ))));
+          ])
+  in
+  fun vars depth n -> stmts vars depth n
+
+let gen_program =
+  let open QCheck.Gen in
+  gen_stmts ~with_call:false [ "p" ] 1 3 >>= fun helper_body ->
+  gen_expr [ "p"; "g0"; "g1" ] >>= fun helper_ret ->
+  gen_stmts ~with_call:true globals 2 5 >>= fun main_body ->
+  gen_expr globals >>= fun main_ret ->
+  let helper =
+    {
+      Ast.f_name = "helper";
+      f_ret = Ast.Tint;
+      f_params = [ ("p", Ast.Tint) ];
+      f_body = helper_body @ [ Ast.stmt (Ast.Return (Some helper_ret)) ];
+      f_pos = Ast.dummy_pos;
+    }
+  in
+  let main =
+    {
+      Ast.f_name = "main";
+      f_ret = Ast.Tint;
+      f_params = [];
+      f_body = main_body @ [ Ast.stmt (Ast.Return (Some main_ret)) ];
+      f_pos = Ast.dummy_pos;
+    }
+  in
+  let program =
+    {
+      Ast.globals =
+        List.map
+          (fun name ->
+            {
+              Ast.g_name = name;
+              g_type = Ast.Tint;
+              g_const = false;
+              g_init = None;
+              g_pos = Ast.dummy_pos;
+            })
+          globals;
+      funcs = [ helper; main ];
+    }
+  in
+  return program
+
+let arbitrary_program =
+  QCheck.make ~print:Minic.Pretty.program_to_string gen_program
+
+(* ---- the differential oracle ------------------------------------------- *)
+
+let run_interp info =
+  let env = Minic.Interp.create info in
+  match
+    Minic.Interp.run ~fuel:1_000_000 env
+      (Minic.Interp.default_hooks ())
+      ~entry:"main"
+  with
+  | Minic.Interp.Finished (Some v) ->
+    Some (v, List.map (fun g -> Minic.Interp.read_global env g) globals)
+  | _ -> None
+
+let run_cpu info =
+  let compiled = Mcc.Codegen.compile ~fname_tracking:false info in
+  let bus = Cpu.Bus.create () in
+  let ram = Cpu.Ram.create ~name:"ram" ~base:0 ~size:0x8000 in
+  Cpu.Bus.attach bus (Cpu.Ram.device ram);
+  Cpu.Ram.load ram 0 compiled.Mcc.Codegen.words;
+  let core =
+    Cpu.Cpu_core.create bus ~start_pc:0
+      ~stack_pointer:Cpu.Memory_map.stack_top ()
+  in
+  match Cpu.Cpu_core.run ~max_instructions:10_000_000 core with
+  | Cpu.Cpu_core.Halted ->
+    Some
+      ( Cpu.Cpu_core.reg core Cpu.Isa.reg_rv,
+        List.map
+          (fun g ->
+            Cpu.Ram.get ram (Mcc.Symtab.address_of compiled.Mcc.Codegen.symtab g))
+          globals )
+  | _ -> None
+
+let qcheck_compiled_equals_interpreted =
+  QCheck.Test.make ~name:"compiled == interpreted (random programs)"
+    ~count:300 arbitrary_program (fun program ->
+      match Minic.Typecheck.check_result program with
+      | Error msg -> QCheck.Test.fail_reportf "generator bug: %s" msg
+      | Ok info -> (
+        match run_interp info, run_cpu info with
+        | Some (rv1, gs1), Some (rv2, gs2) -> rv1 = rv2 && gs1 = gs2
+        | None, None -> true
+        | Some _, None -> QCheck.Test.fail_report "cpu failed, interp ok"
+        | None, Some _ -> QCheck.Test.fail_report "interp failed, cpu ok"))
+
+(* the generated programs must also survive the pretty-print/parse loop *)
+let qcheck_program_roundtrip =
+  QCheck.Test.make ~name:"pretty . parse round trip (random programs)"
+    ~count:150 arbitrary_program (fun program ->
+      let printed = Minic.Pretty.program_to_string program in
+      match Minic.C_parser.parse_result printed with
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg
+      | Ok reparsed ->
+        String.equal printed (Minic.Pretty.program_to_string reparsed))
+
+(* and the normalization pass must preserve their behaviour *)
+let qcheck_normalize_preserves =
+  QCheck.Test.make ~name:"normalize preserves behaviour (random programs)"
+    ~count:150 arbitrary_program (fun program ->
+      match Minic.Typecheck.check_result program with
+      | Error _ -> false
+      | Ok info -> (
+        let normalized = Absref.Normalize.program info in
+        match run_interp info, run_interp normalized with
+        | Some a, Some b -> a = b
+        | None, None -> true
+        | _ -> false))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest qcheck_compiled_equals_interpreted;
+          QCheck_alcotest.to_alcotest qcheck_program_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_normalize_preserves;
+        ] );
+    ]

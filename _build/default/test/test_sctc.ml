@@ -1,0 +1,290 @@
+(* Tests for the SCTC core: checker lifecycle, engines, violation callbacks,
+   coverage collection, report rendering, and simulation triggers. *)
+
+module Checker = Sctc.Checker
+module Coverage = Sctc.Coverage
+module Report = Sctc.Report
+module Trigger = Sctc.Trigger
+module Kernel = Sim.Kernel
+module Clock = Sim.Clock
+
+let check_verdict = Alcotest.check (Alcotest.testable Verdict.pp Verdict.equal)
+
+(* --- checker basics ------------------------------------------------------ *)
+
+let scripted_checker ?engine () =
+  let a = ref false and b = ref false in
+  let checker = Checker.create ~name:"test" () in
+  Checker.register_sampler checker "a" (fun () -> !a);
+  Checker.register_sampler checker "b" (fun () -> !b);
+  Checker.add_property_text ?engine checker ~name:"resp" "G (a -> F[2] b)";
+  (checker, a, b)
+
+let test_checker_basic_run () =
+  let checker, a, b = scripted_checker () in
+  Checker.step checker;
+  check_verdict "pending initially" Verdict.Pending
+    (Checker.verdict checker "resp");
+  a := true;
+  Checker.step checker;
+  a := false;
+  Checker.step checker;
+  b := true;
+  Checker.step checker;
+  check_verdict "request answered, still guarding" Verdict.Pending
+    (Checker.verdict checker "resp");
+  Alcotest.(check int) "steps counted" 4 (Checker.steps checker)
+
+let test_checker_violation_callback () =
+  let checker, a, _b = scripted_checker () in
+  let fired = ref [] in
+  Checker.on_violation checker (fun name step -> fired := (name, step) :: !fired);
+  a := true;
+  Checker.step checker;
+  (* trigger request *)
+  a := false;
+  Checker.step checker;
+  Checker.step checker;
+  Checker.step checker;
+  (* F[2] window (steps 1..3) expired without b *)
+  check_verdict "violated" Verdict.False (Checker.verdict checker "resp");
+  Alcotest.(check (list (pair string int))) "fired exactly once at step 3"
+    [ ("resp", 3) ] !fired;
+  Checker.step checker;
+  Alcotest.(check int) "no refire" 1 (List.length !fired)
+
+let test_checker_engines_agree () =
+  let run engine =
+    let checker, a, b = scripted_checker ~engine () in
+    let script =
+      [ (false, false); (true, false); (false, false); (false, true);
+        (true, false); (false, false); (false, false); (false, false) ]
+    in
+    List.map
+      (fun (va, vb) ->
+        a := va;
+        b := vb;
+        Checker.step checker;
+        Checker.verdict checker "resp")
+      script
+  in
+  let otf = run Checker.On_the_fly in
+  let explicit = run Checker.Explicit in
+  let via_il = run Checker.Via_il in
+  List.iteri
+    (fun i (v1, v2) -> check_verdict (Printf.sprintf "explicit step %d" i) v1 v2)
+    (List.combine otf explicit);
+  List.iteri
+    (fun i (v1, v2) -> check_verdict (Printf.sprintf "il step %d" i) v1 v2)
+    (List.combine otf via_il)
+
+let test_checker_unknown_prop_rejected () =
+  let checker = Checker.create ~name:"t" () in
+  Checker.register_sampler checker "a" (fun () -> true);
+  match
+    Checker.add_property_text checker ~name:"p" "G (a -> F missing)"
+  with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "mentions proposition" true
+      (String.length msg > 0)
+
+let test_checker_duplicate_property () =
+  let checker = Checker.create ~name:"t" () in
+  Checker.register_sampler checker "a" (fun () -> true);
+  Checker.add_property_text checker ~name:"p" "G a";
+  match Checker.add_property_text checker ~name:"p" "F a" with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_checker_psl_syntax () =
+  let checker = Checker.create ~name:"t" () in
+  let ok = ref true in
+  Checker.register_sampler checker "ok" (fun () -> !ok);
+  Checker.add_property_text ~syntax:Checker.Psl checker ~name:"inv"
+    "always ok";
+  Checker.step checker;
+  check_verdict "pending" Verdict.Pending (Checker.verdict checker "inv");
+  ok := false;
+  Checker.step checker;
+  check_verdict "violated" Verdict.False (Checker.verdict checker "inv")
+
+let test_checker_overall_and_finalize () =
+  let checker = Checker.create ~name:"t" () in
+  let a = ref true in
+  Checker.register_sampler checker "a" (fun () -> !a);
+  Checker.add_property_text checker ~name:"safety" "G a";
+  Checker.add_property_text checker ~name:"liveness" "F !a";
+  Checker.step checker;
+  check_verdict "overall pending" Verdict.Pending (Checker.overall checker);
+  let final = Checker.finalize ~strong:true checker in
+  check_verdict "safety true under strong close" Verdict.True
+    (List.assoc "safety" final);
+  check_verdict "liveness false under strong close" Verdict.False
+    (List.assoc "liveness" final)
+
+let test_checker_reset () =
+  let checker, a, _b = scripted_checker () in
+  a := true;
+  Checker.step checker;
+  Checker.step checker;
+  Checker.step checker;
+  Checker.step checker;
+  check_verdict "violated before reset" Verdict.False
+    (Checker.verdict checker "resp");
+  Checker.reset checker;
+  Alcotest.(check int) "steps zeroed" 0 (Checker.steps checker);
+  check_verdict "pending after reset" Verdict.Pending
+    (Checker.verdict checker "resp")
+
+let test_synthesis_time_accounted () =
+  let checker = Checker.create ~name:"t" () in
+  Checker.register_sampler checker "a" (fun () -> true);
+  Alcotest.(check (float 0.0)) "zero before" 0.0
+    (Checker.synthesis_seconds checker);
+  Checker.add_property_text ~engine:Checker.Explicit checker ~name:"p"
+    "F[2000] a";
+  Alcotest.(check bool) "positive after explicit synthesis" true
+    (Checker.synthesis_seconds checker > 0.0)
+
+(* --- coverage ------------------------------------------------------------- *)
+
+let test_coverage_basic () =
+  let cov = Coverage.create ~name:"read" ~expected:[ "OK"; "BUSY"; "ERR" ] in
+  Alcotest.(check (float 0.01)) "empty" 0.0 (Coverage.percent cov);
+  Coverage.observe cov "OK";
+  Coverage.observe cov "OK";
+  Coverage.observe cov "BUSY";
+  Alcotest.(check (float 0.01)) "two thirds" 66.67 (Coverage.percent cov);
+  Alcotest.(check (list string)) "missing" [ "ERR" ] (Coverage.missing cov);
+  Alcotest.(check int) "observations" 3 (Coverage.observations cov);
+  Coverage.observe cov "WAT";
+  Alcotest.(check (list string)) "unexpected" [ "WAT" ] (Coverage.unexpected cov);
+  Coverage.observe cov "ERR";
+  Alcotest.(check (float 0.01)) "full" 100.0 (Coverage.percent cov)
+
+let test_coverage_merge_and_reset () =
+  let mk () = Coverage.create ~name:"op" ~expected:[ "A"; "B" ] in
+  let c1 = mk () and c2 = mk () in
+  Coverage.observe c1 "A";
+  Coverage.observe c2 "B";
+  let merged = Coverage.merge c1 c2 in
+  Alcotest.(check (float 0.01)) "merged full" 100.0 (Coverage.percent merged);
+  Coverage.reset c1;
+  Alcotest.(check (float 0.01)) "reset empty" 0.0 (Coverage.percent c1);
+  let other = Coverage.create ~name:"other" ~expected:[ "A" ] in
+  match Coverage.merge c1 other with
+  | _ -> Alcotest.fail "expected incompatible merge to fail"
+  | exception Invalid_argument _ -> ()
+
+(* --- report ---------------------------------------------------------------- *)
+
+let test_report_rendering () =
+  let rows =
+    [
+      Report.row ~test_cases:100 ~coverage_pct:87.5 "Read" 1.25 "pass";
+      Report.row "Write" 0.5 "Exception";
+    ]
+  in
+  let text =
+    Report.to_string ~title:"demo"
+      ~columns:[ "V.T.(s)"; "T.C."; "C.(%)"; "Result" ]
+      rows
+  in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec search i = i + nl <= hl && (String.sub haystack i nl = needle || search (i + 1)) in
+    search 0
+  in
+  Alcotest.(check bool) "title" true (contains "demo" text);
+  Alcotest.(check bool) "row name" true (contains "Read" text);
+  Alcotest.(check bool) "coverage" true (contains "87.5" text);
+  Alcotest.(check bool) "dash for missing" true (contains "-" text);
+  let csv = Report.csv rows in
+  Alcotest.(check bool) "csv has both lines" true
+    (List.length (String.split_on_char '\n' csv) = 2)
+
+(* --- sim triggers ----------------------------------------------------------- *)
+
+let test_trigger_on_clock () =
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:10 () in
+  let level = ref 0 in
+  let checker = Checker.create ~name:"clocked" () in
+  Checker.register_sampler checker "high" (fun () -> !level > 3);
+  Checker.add_property_text checker ~name:"even" "F high";
+  ignore (Trigger.on_clock kernel clock checker);
+  ignore
+    (Kernel.spawn kernel ~name:"stim" (fun () ->
+         let rec loop () =
+           Clock.wait_posedge clock;
+           incr level;
+           loop ()
+         in
+         loop ()));
+  Kernel.run ~max_time:100 kernel;
+  Alcotest.(check bool) "checker stepped once per edge" true
+    (Checker.steps checker >= 9);
+  check_verdict "liveness seen" Verdict.True (Checker.verdict checker "even")
+
+let test_trigger_handshake () =
+  (* on_event_when must not arm properties before the flag turns true; the
+     property G initialized would otherwise fail on the first cycles. *)
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:10 () in
+  let initialized = ref false in
+  let checker = Checker.create ~name:"hs" () in
+  Checker.register_sampler checker "initialized" (fun () -> !initialized);
+  Checker.add_property_text checker ~name:"init-stays" "G initialized";
+  ignore
+    (Trigger.on_event_when kernel (Clock.posedge clock)
+       ~ready:(fun () -> !initialized)
+       checker);
+  ignore
+    (Kernel.spawn kernel ~name:"boot" (fun () ->
+         Kernel.wait_for kernel 35;
+         initialized := true));
+  Kernel.run ~max_time:100 kernel;
+  check_verdict "no spurious violation" Verdict.Pending
+    (Checker.verdict checker "init-stays");
+  Alcotest.(check bool) "stepped after handshake only" true
+    (Checker.steps checker < 8 && Checker.steps checker > 0)
+
+let suite_checker =
+  [
+    Alcotest.test_case "basic run" `Quick test_checker_basic_run;
+    Alcotest.test_case "violation callback" `Quick
+      test_checker_violation_callback;
+    Alcotest.test_case "engines agree" `Quick test_checker_engines_agree;
+    Alcotest.test_case "unknown proposition rejected" `Quick
+      test_checker_unknown_prop_rejected;
+    Alcotest.test_case "duplicate property rejected" `Quick
+      test_checker_duplicate_property;
+    Alcotest.test_case "psl syntax" `Quick test_checker_psl_syntax;
+    Alcotest.test_case "overall and finalize" `Quick
+      test_checker_overall_and_finalize;
+    Alcotest.test_case "reset" `Quick test_checker_reset;
+    Alcotest.test_case "synthesis time accounted" `Quick
+      test_synthesis_time_accounted;
+  ]
+
+let suite_coverage =
+  [
+    Alcotest.test_case "basic" `Quick test_coverage_basic;
+    Alcotest.test_case "merge and reset" `Quick test_coverage_merge_and_reset;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+  ]
+
+let suite_trigger =
+  [
+    Alcotest.test_case "on clock" `Quick test_trigger_on_clock;
+    Alcotest.test_case "handshake gating" `Quick test_trigger_handshake;
+  ]
+
+let () =
+  Alcotest.run "sctc"
+    [
+      ("checker", suite_checker);
+      ("coverage", suite_coverage);
+      ("trigger", suite_trigger);
+    ]
