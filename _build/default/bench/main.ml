@@ -117,14 +117,14 @@ let run_fig8_column column =
   let total_time = ref 0.0 in
   List.iter
     (fun op ->
-      let backend =
+      let session =
         match column.approach with
         | 1 -> Harness.approach1 ~fault_rate:0.03 ~seed:(7 * !scale) ()
         | _ -> Harness.approach2 ~fault_rate:0.03 ~seed:(7 * !scale) ()
       in
       (* the paper's SCTC synthesizes explicit AR-automata: time bounds
          show up as AR generation time inside V.T. *)
-      Driver.install_spec ~bound:column.bound ~engine:Checker.Explicit backend
+      Driver.install_spec ~bound:column.bound ~engine:Checker.Explicit session
         [ op ];
       let config =
         {
@@ -135,13 +135,14 @@ let run_fig8_column column =
           seed = 101 + !scale;
         }
       in
-      let outcome = Driver.run_campaign backend config op in
-      total_time := !total_time +. outcome.Driver.vt_seconds;
+      let outcome = Driver.run_campaign session config op in
+      total_time := !total_time +. outcome.Verif.Result.vt_seconds;
       Printf.printf "%-10s %9.2f %7d %7.1f %9s  %s\n" (Spec.op_name op)
-        outcome.Driver.vt_seconds outcome.Driver.completed_cases
-        (Coverage.percent outcome.Driver.coverage)
-        (Verdict.to_string outcome.Driver.verdict)
-        (String.concat "," (Coverage.missing outcome.Driver.coverage)))
+        outcome.Verif.Result.vt_seconds
+        (Verif.Result.completed_cases outcome)
+        (Verif.Result.coverage_percent outcome)
+        (Verdict.to_string (Verif.Result.verdict outcome (Spec.property_name op)))
+        (String.concat "," (Verif.Result.missing_returns outcome)))
     Spec.all_ops;
   Printf.printf "column total: %.2fs\n\n" !total_time;
   !total_time
@@ -211,14 +212,13 @@ let run_ablation () =
   print_newline ();
   print_endline "Ablation -- checker triggers per operation (Read, 20 cases)";
   List.iter
-    (fun (name, backend) ->
-      Driver.install_spec backend [ Spec.Read ];
+    (fun (name, session) ->
+      Driver.install_spec session [ Spec.Read ];
       let config = { Driver.default_config with test_cases = 20; seed = 3 } in
-      let outcome = Driver.run_campaign backend config Spec.Read in
+      let outcome = Driver.run_campaign session config Spec.Read in
       Printf.printf "  %-12s %8d time units, %8d checker steps, %.3fs\n" name
-        outcome.Driver.time_units_used
-        (Checker.steps backend.Driver.checker)
-        outcome.Driver.vt_seconds)
+        outcome.Verif.Result.time_units outcome.Verif.Result.triggers
+        outcome.Verif.Result.vt_seconds)
     [
       ("approach 1", Harness.approach1 ~fault_rate:0.0 ~seed:9 ());
       ("approach 2", Harness.approach2 ~fault_rate:0.0 ~seed:9 ());

@@ -21,58 +21,26 @@ let read_file path =
   s
 
 let load path =
-  match Minic.C_parser.parse_result (read_file path) with
+  let source =
+    try read_file path
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  match Minic.C_parser.parse_result source with
   | Error msg ->
     Printf.eprintf "%s: parse error: %s\n" path msg;
-    exit 1
+    exit 2
   | Ok program -> (
     match Minic.Typecheck.check_result program with
     | Error msg ->
       Printf.eprintf "%s: type error: %s\n" path msg;
-      exit 1
+      exit 2
     | Ok info -> info)
 
+(* a plain string: [load] reports unreadable files itself with exit 2 *)
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
-
-(* tiny pure-expression evaluator for --prop definitions *)
-let rec eval_pure lookup (e : Minic.Ast.expr) =
-  let module A = Minic.Ast in
-  let module V = Minic.Value in
-  match e.A.edesc with
-  | A.Int_lit v -> v
-  | A.Bool_lit b -> V.of_bool b
-  | A.Var x -> lookup x
-  | A.Unop (A.Neg, a) -> V.neg (eval_pure lookup a)
-  | A.Unop (A.Bitnot, a) -> V.lognot (eval_pure lookup a)
-  | A.Unop (A.Lognot, a) -> V.of_bool (not (V.to_bool (eval_pure lookup a)))
-  | A.Binop (op, a, b) -> (
-    let va = eval_pure lookup a in
-    match op with
-    | A.Land -> V.of_bool (V.to_bool va && V.to_bool (eval_pure lookup b))
-    | A.Lor -> V.of_bool (V.to_bool va || V.to_bool (eval_pure lookup b))
-    | _ -> (
-      let vb = eval_pure lookup b in
-      match op with
-      | A.Add -> V.add va vb
-      | A.Sub -> V.sub va vb
-      | A.Mul -> V.mul va vb
-      | A.Div -> V.div va vb
-      | A.Mod -> V.rem va vb
-      | A.Band -> V.logand va vb
-      | A.Bor -> V.logor va vb
-      | A.Bxor -> V.logxor va vb
-      | A.Shl -> V.shift_left va vb
-      | A.Shr -> V.shift_right va vb
-      | A.Lt -> V.of_bool (va < vb)
-      | A.Le -> V.of_bool (va <= vb)
-      | A.Gt -> V.of_bool (va > vb)
-      | A.Ge -> V.of_bool (va >= vb)
-      | A.Eq -> V.of_bool (va = vb)
-      | A.Ne -> V.of_bool (va <> vb)
-      | A.Land | A.Lor -> assert false))
-  | A.Index _ | A.Call _ | A.Nondet _ | A.Mem_read _ ->
-    failwith "propositions must be pure expressions over globals"
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.c")
 
 (* ------------------------------------------------------------------ *)
 
@@ -197,59 +165,63 @@ let prop_conv =
   Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
 
 let cmd_verify =
-  let action path approach property props budget flag =
+  let action path approach property props budget flag trace_file =
     let info = load path in
-    let checker = Sctc.Checker.create ~name:"cli" () in
-    let register read_var =
-      List.iter
-        (fun (name, text) ->
-          let expr = Minic.C_parser.parse_expr text in
-          Sctc.Checker.register_sampler checker name (fun () ->
-              Minic.Value.to_bool (eval_pure read_var expr)))
-        props
+    let backend =
+      match approach with
+      | 0 -> Verif.Session.Reference
+      | 1 -> Verif.Session.Soc_model
+      | 2 -> Verif.Session.Derived_model
+      | n ->
+        Printf.eprintf "unknown approach %d (use 0, 1 or 2)\n" n;
+        exit 2
     in
-    let final () =
-      List.iter
-        (fun (name, verdict) ->
-          Printf.printf "%-20s %s\n" name (Verdict.to_string verdict))
-        (Sctc.Checker.verdicts checker);
-      match Sctc.Checker.overall checker with
-      | Verdict.False -> 1
-      | Verdict.True | Verdict.Pending -> 0
+    let trace =
+      match trace_file with
+      | None -> Verif.Trace.null
+      | Some out ->
+        let bus = Verif.Trace.create () in
+        (try Verif.Trace.attach bus (Verif.Trace.jsonl_file out)
+         with Sys_error msg ->
+           Printf.eprintf "--trace: %s\n" msg;
+           exit 2);
+        bus
     in
-    match approach with
-    | 1 ->
-      let soc = Platform.Soc.create () in
-      Platform.Soc.load soc (Mcc.Codegen.compile info);
-      register (Platform.Soc.read_var soc);
-      Sctc.Checker.add_property_text checker ~name:"property" property;
-      (match flag with
-      | Some flag_name ->
-        ignore (Platform.Esw_monitor.attach soc ~flag:flag_name checker)
-      | None ->
-        ignore
-          (Sctc.Trigger.on_clock (Platform.Soc.kernel soc)
-             (Platform.Soc.clock soc) checker));
-      Platform.Soc.run ~max_cycles:budget soc;
-      final ()
-    | 2 ->
-      let kernel = Sim.Kernel.create () in
-      let vmem = Esw.Vmem.create () in
-      let derived = Esw.C2sc.derive info in
-      let model = Esw.Esw_model.create kernel derived ~vmem in
-      register (fun name -> Esw.Esw_model.read_member model name);
-      Sctc.Checker.add_property_text checker ~name:"property" property;
-      ignore
-        (Sctc.Trigger.on_event kernel (Esw.Esw_model.pc_event model) checker);
-      ignore (Esw.Esw_model.start model ~entry:"main");
-      Sim.Kernel.run ~max_time:budget kernel;
-      final ()
-    | n ->
-      Printf.eprintf "unknown approach %d (use 1 or 2)\n" n;
-      2
+    let config =
+      {
+        Verif.Session.default_config with
+        Verif.Session.session_name = "cli";
+        properties = [ ("property", property) ];
+        propositions = props;
+        bound = Some budget;
+        flag;
+        trace;
+      }
+    in
+    let session =
+      try Verif.Session.create ~info config backend
+      with exn ->
+        Printf.eprintf "tcheck verify: %s\n" (Printexc.to_string exn);
+        exit 2
+    in
+    Verif.Session.run session;
+    let result = Verif.Session.result session in
+    Verif.Session.close session;
+    List.iter
+      (fun p ->
+        Printf.printf "%-20s %s%s\n" p.Verif.Result.property
+          (Verdict.to_string p.Verif.Result.verdict)
+          (match p.Verif.Result.first_final_at with
+          | Some tu -> Printf.sprintf "  (final at %d)" tu
+          | None -> ""))
+      result.Verif.Result.properties;
+    match Verif.Result.overall result with
+    | Verdict.False -> 1
+    | Verdict.True | Verdict.Pending -> 0
   in
   let approach =
-    Arg.(value & opt int 2 & info [ "approach" ] ~doc:"1 = microprocessor model, 2 = derived SystemC model")
+    Arg.(value & opt int 2 & info [ "approach" ]
+           ~doc:"0 = reference interpreter, 1 = microprocessor model, 2 = derived SystemC model")
   in
   let property =
     Arg.(required & opt (some string) None & info [ "property" ] ~docv:"FLTL"
@@ -267,10 +239,16 @@ let cmd_verify =
     Arg.(value & opt (some string) None & info [ "flag" ]
            ~doc:"Initialization flag variable for the approach-1 handshake")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+           ~doc:"Write the structured verification trace (triggers, samples, \
+                 verdict changes, handshake) as JSONL to this file")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
-    Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag)
+    Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag
+          $ trace_file)
 
 let cmd_bmc =
   let action path unwind timeout =
@@ -343,7 +321,7 @@ let cmd_eee =
         Printf.eprintf "unknown operation %s\n" op_name;
         exit 2
     in
-    let backend =
+    let session =
       match approach with
       | 1 -> Eee.Harness.approach1 ~fault_rate ()
       | 2 -> Eee.Harness.approach2 ~fault_rate ()
@@ -351,15 +329,17 @@ let cmd_eee =
         Printf.eprintf "unknown approach %d\n" n;
         exit 2
     in
-    Eee.Driver.install_spec ~bound backend [ op ];
+    Eee.Driver.install_spec ~bound session [ op ];
     let config =
       { Eee.Driver.default_config with test_cases = cases; bound }
     in
-    let outcome = Eee.Driver.run_campaign backend config op in
-    Format.printf "%s@.%a@." backend.Eee.Driver.backend_name
-      Eee.Driver.pp_outcome outcome;
+    let outcome = Eee.Driver.run_campaign session config op in
+    Format.printf "%a@." Verif.Result.pp outcome;
     Format.printf "observed returns: %s@."
-      (String.concat ", " (Sctc.Coverage.observed outcome.Eee.Driver.coverage));
+      (String.concat ", "
+         (match outcome.Verif.Result.coverage with
+         | Some coverage -> Sctc.Coverage.observed coverage
+         | None -> []));
     0
   in
   let approach =

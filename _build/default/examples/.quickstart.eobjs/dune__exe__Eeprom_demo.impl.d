@@ -1,1 +1,1 @@
-examples/eeprom_demo.ml: Eee Format List Printf Sctc Unix Verdict
+examples/eeprom_demo.ml: Eee Format List Printf Sctc Unix Verdict Verif

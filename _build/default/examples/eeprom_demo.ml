@@ -5,18 +5,19 @@
 
      dune exec examples/eeprom_demo.exe *)
 
-let campaign approach_name backend ops cases =
-  Eee.Driver.install_spec backend ops;
+let campaign approach_name session ops cases =
+  Eee.Driver.install_spec session ops;
   Printf.printf "--- %s ---\n" approach_name;
   List.iter
     (fun op ->
       let config =
         { Eee.Driver.default_config with test_cases = cases; seed = 2024 }
       in
-      let outcome = Eee.Driver.run_campaign backend config op in
-      Format.printf "  %a@." Eee.Driver.pp_outcome outcome)
+      let outcome = Eee.Driver.run_campaign session config op in
+      Format.printf "  %s: %a@." (Eee.Eee_spec.op_name op) Verif.Result.pp
+        outcome)
     ops;
-  backend
+  session
 
 let () =
   Printf.printf "EEPROM emulation software: %d lines of MiniC, %d functions\n\n"
@@ -50,10 +51,10 @@ let () =
   print_newline ();
 
   (* no property may be violated: the software conforms to its spec *)
-  let clean backend =
+  let clean session =
     List.for_all
       (fun (_, verdict) -> not (Verdict.equal verdict Verdict.False))
-      (Sctc.Checker.verdicts backend.Eee.Driver.checker)
+      (Sctc.Checker.verdicts (Verif.Session.checker session))
   in
   if clean b1 && clean b2 then
     print_endline "all response properties hold on both approaches"

@@ -1,1 +1,1 @@
-lib/core/checker.ml: Ar_automaton Fltl_parser Formula Il List Monitor Printf Proposition Psl String Verdict
+lib/core/checker.ml: Ar_automaton Fltl_parser Formula Il List Monitor Printf Proposition Psl String Trace Verdict

@@ -1,1 +1,1 @@
-lib/core/checker.mli: Formula Proposition Verdict
+lib/core/checker.mli: Formula Proposition Trace Verdict

@@ -1,1 +1,1 @@
-lib/core/report.ml: Format List Printf String
+lib/core/report.ml: Buffer Format List Printf String Trace

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Buffer Char Float Format List Printf String Unix Verdict

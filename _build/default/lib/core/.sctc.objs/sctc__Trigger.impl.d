@@ -1,1 +1,1 @@
-lib/core/trigger.ml: Checker Sim
+lib/core/trigger.ml: Checker Sim Trace

@@ -6,6 +6,9 @@ type property = {
   formula : Formula.t;
   monitor : Monitor.t;
   mutable violated_at : int option;
+  mutable final_at : int option; (* time units, via the time source *)
+  mutable traced_verdict : Verdict.t; (* last verdict published on the bus *)
+  mutable traced_any : bool;
 }
 
 type t = {
@@ -15,17 +18,30 @@ type t = {
   mutable step_count : int;
   mutable synthesis_seconds : float;
   mutable violation_callbacks : (string -> int -> unit) list;
+  mutable trace : Trace.t;
+  mutable time_source : unit -> int;
 }
 
-let create ~name () =
-  {
-    c_name = name;
-    table = Proposition.Table.create ();
-    properties = [];
-    step_count = 0;
-    synthesis_seconds = 0.0;
-    violation_callbacks = [];
-  }
+let create ?(trace = Trace.null) ~name () =
+  let checker =
+    {
+      c_name = name;
+      table = Proposition.Table.create ();
+      properties = [];
+      step_count = 0;
+      synthesis_seconds = 0.0;
+      violation_callbacks = [];
+      trace;
+      time_source = (fun () -> 0);
+    }
+  in
+  (* default time reference: the trigger count itself *)
+  checker.time_source <- (fun () -> checker.step_count);
+  checker
+
+let trace checker = checker.trace
+let set_trace checker trace = checker.trace <- trace
+let set_time_source checker source = checker.time_source <- source
 
 let name checker = checker.c_name
 
@@ -52,11 +68,21 @@ let check_support checker formula =
              prop_name))
     (Formula.props formula)
 
+(* name resolution used by the monitors, publishing every sample on the
+   trace bus when one is attached (one branch per sample otherwise) *)
+let traced_binding checker name =
+  let probe = Proposition.Table.binding checker.table name in
+  fun () ->
+    let value = probe () in
+    if Trace.enabled checker.trace then
+      Trace.emit checker.trace (Trace.Sample { prop = name; value });
+    value
+
 let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
   if List.exists (fun p -> String.equal p.prop_name name) checker.properties
   then invalid_arg (Printf.sprintf "Checker.add_property: duplicate %S" name);
   check_support checker formula;
-  let binding = Proposition.Table.binding checker.table in
+  let binding = traced_binding checker in
   let monitor =
     match engine with
     | On_the_fly -> Monitor.of_formula ~name formula ~binding
@@ -75,7 +101,15 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
       Monitor.of_il ~name il ~binding
   in
   checker.properties <-
-    { prop_name = name; formula; monitor; violated_at = None }
+    {
+      prop_name = name;
+      formula;
+      monitor;
+      violated_at = None;
+      final_at = None;
+      traced_verdict = Verdict.Pending;
+      traced_any = false;
+    }
     :: checker.properties
 
 let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
@@ -86,10 +120,24 @@ let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
 
 let step checker =
   checker.step_count <- checker.step_count + 1;
+  let tracing = Trace.enabled checker.trace in
   List.iter
     (fun property ->
       let before_final = Verdict.is_final (Monitor.verdict property.monitor) in
       let verdict = Monitor.step property.monitor in
+      if (not before_final) && Verdict.is_final verdict
+         && property.final_at = None
+      then property.final_at <- Some (checker.time_source ());
+      if
+        tracing
+        && ((not property.traced_any)
+           || not (Verdict.equal verdict property.traced_verdict))
+      then begin
+        property.traced_any <- true;
+        property.traced_verdict <- verdict;
+        Trace.emit checker.trace
+          (Trace.Verdict_change { property = property.prop_name; verdict })
+      end;
       if
         (not before_final)
         && Verdict.equal verdict Verdict.False
@@ -128,12 +176,24 @@ let finalize ?strong checker =
     (fun p -> (p.prop_name, Monitor.finalize ?strong p.monitor))
     checker.properties
 
+let first_final_at checker name =
+  match
+    List.find_opt
+      (fun p -> String.equal p.prop_name name)
+      checker.properties
+  with
+  | Some property -> property.final_at
+  | None -> raise Not_found
+
 let reset checker =
   checker.step_count <- 0;
   List.iter
     (fun p ->
       Monitor.reset p.monitor;
-      p.violated_at <- None)
+      p.violated_at <- None;
+      p.final_at <- None;
+      p.traced_verdict <- Verdict.Pending;
+      p.traced_any <- false)
     checker.properties;
   List.iter
     (fun prop_name ->

@@ -23,9 +23,20 @@ type engine =
 
 type syntax = Fltl | Psl
 
-val create : name:string -> unit -> t
+val create : ?trace:Trace.t -> name:string -> unit -> t
+(** [trace] defaults to {!Trace.null} (no events published). *)
 
 val name : t -> string
+
+(** {2 Tracing} *)
+
+val trace : t -> Trace.t
+val set_trace : t -> Trace.t -> unit
+
+val set_time_source : t -> (unit -> int) -> unit
+(** Install the clock used to stamp {!first_final_at} (and, for
+    convenience, available to sessions for their trace bus). Defaults to
+    the checker's own trigger count. *)
 
 (** {2 Propositions} *)
 
@@ -74,6 +85,11 @@ val overall : t -> Verdict.t
 
 val finalize : ?strong:bool -> t -> (string * Verdict.t) list
 (** End-of-trace verdicts (does not mutate the checker). *)
+
+val first_final_at : t -> string -> int option
+(** Time unit (via the installed time source) at which a property first
+    reached a final verdict, if it has. @raise Not_found for unknown
+    names. *)
 
 val reset : t -> unit
 (** Reset all monitors and stateful propositions to their initial states. *)

@@ -1,7 +1,18 @@
+let emit_armed checker ~source =
+  let trace = Checker.trace checker in
+  if Trace.enabled trace then
+    Trace.emit trace (Trace.Handshake_armed { source })
+
+let emit_trigger checker =
+  let trace = Checker.trace checker in
+  if Trace.enabled trace then Trace.emit trace Trace.Trigger
+
 let on_event kernel event checker =
   let body () =
+    emit_armed checker ~source:(Sim.Kernel.event_name event);
     let rec loop () =
       Sim.Kernel.wait_event event;
+      emit_trigger checker;
       Checker.step checker;
       loop ()
     in
@@ -18,7 +29,11 @@ let on_event_when kernel event ~ready checker =
       if not (ready ()) then wait_ready ()
     in
     wait_ready ();
+    (* the handshake completed: arm once, then step on every trigger
+       (including the one that flipped [ready]) *)
+    emit_armed checker ~source:(Sim.Kernel.event_name event);
     let rec loop () =
+      emit_trigger checker;
       Checker.step checker;
       Sim.Kernel.wait_event event;
       loop ()

@@ -3,7 +3,11 @@
     The paper's two approaches differ only in what triggers the checker:
     the microprocessor clock (approach 1) or the derived software model's
     program-counter event (approach 2). These helpers spawn the monitor
-    process that waits on the trigger and steps the checker. *)
+    process that waits on the trigger and steps the checker.
+
+    When the checker carries a live {!Trace.t} bus, the trigger process
+    publishes a [Handshake_armed] event once it starts stepping the
+    checker and a [Trigger] event before every step. *)
 
 val on_event : Sim.Kernel.t -> Sim.Kernel.event -> Checker.t -> Sim.Kernel.process
 (** Step the checker every time the event is notified. *)

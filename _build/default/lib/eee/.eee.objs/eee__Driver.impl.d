@@ -1,1 +1,1 @@
-lib/eee/driver.ml: Eee_spec Format List Platform Proposition Sctc Stimuli Unix Verdict
+lib/eee/driver.ml: Eee_spec List Option Platform Proposition Sctc Stimuli Verif

@@ -1,1 +1,1 @@
-lib/eee/driver.mli: Eee_spec Format Platform Proposition Sctc Verdict
+lib/eee/driver.mli: Eee_spec Sctc Verif

@@ -1,1 +1,1 @@
-lib/eee/harness.ml: Cpu Dataflash Driver Eee_program Esw Platform Sctc Sim Stimuli
+lib/eee/harness.ml: Dataflash Eee_program Verif

@@ -1,1 +1,1 @@
-lib/eee/harness.mli: Dataflash Driver
+lib/eee/harness.mli: Dataflash Verif

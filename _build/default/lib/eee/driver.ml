@@ -2,17 +2,8 @@ module Mailbox = Platform.Mailbox
 module Checker = Sctc.Checker
 module Coverage = Sctc.Coverage
 module Prng = Stimuli.Prng
-
-type backend = {
-  backend_name : string;
-  read_var : string -> int;
-  in_function : string -> Proposition.t;
-  mbox : Mailbox.t;
-  advance : unit -> unit;
-  time_units : unit -> int;
-  checker : Checker.t;
-  alive : unit -> bool;
-}
+module Session = Verif.Session
+module Trace = Verif.Trace
 
 type config = {
   test_cases : int;
@@ -31,42 +22,32 @@ let default_config =
     seed = 7;
   }
 
-type outcome = {
-  op : Eee_spec.op;
-  vt_seconds : float;
-  synthesis_seconds : float;
-  completed_cases : int;
-  coverage : Coverage.t;
-  verdict : Verdict.t;
-  timeouts : int;
-  time_units_used : int;
-}
-
 let max_id = 16 (* must match MAX_ID in the software *)
 
-let install_spec ?(bound = None) ?(engine = Checker.On_the_fly) backend ops =
+let install_spec ?(bound = None) ?(engine = Checker.On_the_fly) session ops =
+  let checker = Session.checker session in
+  let mbox = Session.mailbox session in
   List.iter
     (fun op ->
       (* "<op>_called": entering the operation's implementation function *)
       let called =
         Proposition.rose (Eee_spec.called_prop op)
-          (backend.in_function (Eee_spec.entry_function op))
+          (Session.in_function session (Eee_spec.entry_function op))
       in
-      Checker.register_proposition backend.checker called;
+      Checker.register_proposition checker called;
       (* "<op>_ret_<code>": a response for this op with that code is
          currently posted in the mailbox *)
       List.iter
         (fun code ->
           let name = Eee_spec.return_prop op code in
           let sample () =
-            Mailbox.response_ready backend.mbox
-            && backend.read_var "eee_done_op" = Eee_spec.op_code op
-            && backend.read_var "eee_done_ret" = code
+            Mailbox.response_ready mbox
+            && Session.read_var session "eee_done_op" = Eee_spec.op_code op
+            && Session.read_var session "eee_done_ret" = code
           in
-          Checker.register_proposition backend.checker
-            (Proposition.make name sample))
+          Checker.register_proposition checker (Proposition.make name sample))
         (Eee_spec.expected_returns op);
-      Checker.add_property_text ~engine backend.checker
+      Checker.add_property_text ~engine checker
         ~name:(Eee_spec.property_name op)
         (Eee_spec.property_text ?bound op))
     ops
@@ -86,20 +67,42 @@ let random_args prng op =
   | Eee_spec.Prepare | Eee_spec.Refresh ->
     (0, 0)
 
-(* issue one operation and wait for its response (or the watchdog) *)
-let issue backend config prng op =
+(* issue one operation and wait for its response (or the watchdog); when
+   [case] is given and the session traces, the test-case boundary and any
+   watchdog expiry are published on the bus *)
+let issue ?case session config prng op =
+  let trace = Session.trace session in
+  let tracing = Trace.enabled trace in
+  let mbox = Session.mailbox session in
   let arg0, arg1 = random_args prng op in
-  Mailbox.post_request backend.mbox ~op:(Eee_spec.op_code op) ~arg0 ~arg1;
+  (match case with
+  | Some index when tracing ->
+    Trace.emit trace
+      (Trace.Test_case_begin { index; op = Eee_spec.op_name op })
+  | _ -> ());
+  Mailbox.post_request mbox ~op:(Eee_spec.op_code op) ~arg0 ~arg1;
   let rec wait chunk =
-    if Mailbox.response_ready backend.mbox then
-      Some (Mailbox.take_response backend.mbox)
-    else if chunk >= config.watchdog_chunks || not (backend.alive ()) then None
+    if Mailbox.response_ready mbox then Some (Mailbox.take_response mbox)
+    else if chunk >= config.watchdog_chunks || not (Session.alive session) then
+      None
     else begin
-      backend.advance ();
+      Session.advance session;
       wait (chunk + 1)
     end
   in
-  wait 0
+  let response = wait 0 in
+  (match case with
+  | Some index when tracing ->
+    (match response with
+    | None ->
+      Trace.emit trace
+        (Trace.Watchdog_fired { index; op = Eee_spec.op_name op })
+    | Some _ -> ());
+    Trace.emit trace
+      (Trace.Test_case_end
+         { index; result = Option.map Eee_spec.return_name response })
+  | _ -> ());
+  response
 
 (* a context operation to walk the emulation through its state space;
    weights favour the operations that change global state *)
@@ -115,7 +118,7 @@ let context_op prng =
       (1, Eee_spec.Startup2);
     ]
 
-let run_campaign backend config op =
+let run_campaign session config op =
   let prng = Prng.create ~seed:config.seed in
   let coverage =
     Coverage.create ~name:(Eee_spec.op_name op)
@@ -123,45 +126,25 @@ let run_campaign backend config op =
   in
   let timeouts = ref 0 in
   let completed = ref 0 in
-  let units_before = backend.time_units () in
-  let started = Unix.gettimeofday () in
+  Session.restart_timer session;
   (* bootstrap: bring the emulation up once, as an application would; the
      campaign's context operations (startup1 downgrades, failed formats)
      reopen the uninitialized states afterwards *)
   List.iter
-    (fun boot -> ignore (issue backend config prng boot))
+    (fun boot -> ignore (issue session config prng boot))
     [ Eee_spec.Format; Eee_spec.Startup1; Eee_spec.Startup2 ];
-  for _case = 1 to config.test_cases do
-    if backend.alive () then begin
+  for case = 1 to config.test_cases do
+    if Session.alive session then begin
       (* frequently reshuffle the emulation state first *)
       if Prng.chance prng 0.5 then
-        ignore (issue backend config prng (context_op prng));
+        ignore (issue session config prng (context_op prng));
       (* back-to-back issue right after a state-changing op maximizes the
          chance of catching the background erase (EEE_BUSY) *)
-      match issue backend config prng op with
+      match issue ~case session config prng op with
       | Some ret ->
         incr completed;
         Coverage.observe coverage (Eee_spec.return_name ret)
       | None -> incr timeouts
     end
   done;
-  let elapsed = Unix.gettimeofday () -. started in
-  {
-    op;
-    vt_seconds = elapsed +. Checker.synthesis_seconds backend.checker;
-    synthesis_seconds = Checker.synthesis_seconds backend.checker;
-    completed_cases = !completed;
-    coverage;
-    verdict = Checker.verdict backend.checker (Eee_spec.property_name op);
-    timeouts = !timeouts;
-    time_units_used = backend.time_units () - units_before;
-  }
-
-let pp_outcome fmt outcome =
-  Format.fprintf fmt
-    "%-9s V.T.=%.3fs (synth %.3fs)  T.C.=%d  C=%.1f%%  verdict=%a  \
-     timeouts=%d  units=%d"
-    (Eee_spec.op_name outcome.op)
-    outcome.vt_seconds outcome.synthesis_seconds outcome.completed_cases
-    (Coverage.percent outcome.coverage)
-    Verdict.pp outcome.verdict outcome.timeouts outcome.time_units_used
+  Session.result ~test_cases:!completed ~timeouts:!timeouts ~coverage session

@@ -1,25 +1,16 @@
 (** Constrained-random verification campaigns over the EEPROM-emulation
     software — the experiment engine behind the paper's Fig. 8.
 
-    A {!backend} abstracts over the two integration approaches (the SoC of
-    approach 1, the derived model of approach 2): it exposes variable
-    observation, function-entry propositions, the request mailbox and a way
-    to advance simulation. {!install_spec} registers the specification's
-    propositions and response properties on the backend's checker;
+    The driver runs against a {!Verif.Session.t} (assembled by
+    {!Harness}): it uses the session's mailbox, variable observation and
+    chunked advance. {!install_spec} registers the specification's
+    propositions and response properties on the session's checker;
     {!run_campaign} then drives constrained-random test cases against one
-    operation, collecting verification time, test-case count and
-    return-value coverage — the three columns of the paper's tables. *)
-
-type backend = {
-  backend_name : string;
-  read_var : string -> int;  (** observe a software global *)
-  in_function : string -> Proposition.t;  (** fname-based probe *)
-  mbox : Platform.Mailbox.t;
-  advance : unit -> unit;  (** progress the simulation by one chunk *)
-  time_units : unit -> int;  (** cycles (approach 1) / statements (2) *)
-  checker : Sctc.Checker.t;
-  alive : unit -> bool;  (** software still executing *)
-}
+    operation and returns the uniform {!Verif.Result.t} (verification
+    time, test-case count, return-value coverage — the three columns of
+    the paper's tables). When the session carries a live trace bus, every
+    measured test case publishes [Test_case_begin]/[Test_case_end] (and
+    [Watchdog_fired] on expiry). *)
 
 type config = {
   test_cases : int;
@@ -31,30 +22,19 @@ type config = {
 
 val default_config : config
 
-type outcome = {
-  op : Eee_spec.op;
-  vt_seconds : float;  (** paper column V.T.(s), incl. AR synthesis *)
-  synthesis_seconds : float;  (** AR-automaton generation part *)
-  completed_cases : int;  (** paper column T.C. *)
-  coverage : Sctc.Coverage.t;  (** paper column C.(%%) *)
-  verdict : Verdict.t;  (** property verdict at campaign end *)
-  timeouts : int;  (** operations that hit the watchdog *)
-  time_units_used : int;
-}
-
 val install_spec :
   ?bound:int option ->
   ?engine:Sctc.Checker.engine ->
-  backend ->
+  Verif.Session.t ->
   Eee_spec.op list ->
   unit
 (** Register called/return propositions and the response property for each
-    operation. Call once per backend, before {!run_campaign}. *)
+    operation. Call once per session, before {!run_campaign}. *)
 
-val run_campaign : backend -> config -> Eee_spec.op -> outcome
+val run_campaign :
+  Verif.Session.t -> config -> Eee_spec.op -> Verif.Result.t
 (** Drive [config.test_cases] constrained-random invocations of the
     operation (interleaved with random context operations that move the
     emulation through its state space), collecting coverage and the
-    property verdict. *)
-
-val pp_outcome : Format.formatter -> outcome -> unit
+    property verdicts. Restarts the session's timer, so the result's
+    V.T./time-unit columns cover exactly this campaign. *)

@@ -1,7 +1,5 @@
 module Flash = Dataflash.Flash
-module Flash_ctrl = Dataflash.Flash_ctrl
-module Checker = Sctc.Checker
-module Map = Cpu.Memory_map
+module Session = Verif.Session
 
 let flash_campaign_config ~fault_rate =
   {
@@ -13,83 +11,42 @@ let flash_campaign_config ~fault_rate =
     erase_fail_prob = fault_rate /. 2.0;
   }
 
-let approach1 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_cycles = 60) () =
+let approach1 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_cycles = 60)
+    ?(trace = Verif.Trace.null) () =
   let config =
     {
-      Platform.Soc.clock_period = 10;
-      flash = flash_campaign_config ~fault_rate;
+      Session.default_config with
+      Session.session_name = "eee-approach1";
       seed;
+      chunk = chunk_cycles;
+      flash = Some (flash_campaign_config ~fault_rate);
+      flag = Some "flag";
+      trace;
     }
   in
-  let soc = Platform.Soc.create ~config () in
-  Platform.Soc.load soc (Eee_program.compile ());
-  let checker = Checker.create ~name:"eee-approach1" () in
-  let monitor = Platform.Esw_monitor.attach soc ~flag:"flag" checker in
+  let session =
+    Session.create ~compiled:(Eee_program.compile ()) config Session.Soc_model
+  in
   (* boot until the software completes its initialization handshake *)
-  let rec boot attempts =
-    if (not (Platform.Esw_monitor.initialized monitor)) && attempts > 0 then begin
-      Platform.Soc.run ~max_cycles:200 soc;
-      boot (attempts - 1)
-    end
-  in
-  boot 50;
-  if not (Platform.Esw_monitor.initialized monitor) then
-    failwith "Harness.approach1: software never initialized";
-  {
-    Driver.backend_name = "approach-1 (microprocessor model)";
-    read_var = Platform.Soc.read_var soc;
-    in_function = Platform.Mem_prop.in_function soc;
-    mbox = Platform.Soc.mailbox soc;
-    advance = (fun () -> Platform.Soc.run ~max_cycles:chunk_cycles soc);
-    time_units = (fun () -> Platform.Soc.cycles soc);
-    checker;
-    alive = (fun () -> not (Platform.Soc.cpu_stopped soc));
-  }
+  Session.boot session;
+  session
 
-let approach2 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_statements = 60) () =
-  let kernel = Sim.Kernel.create () in
-  let vmem = Esw.Vmem.create () in
-  let prng = Stimuli.Prng.create ~seed in
-  let flash =
-    Flash.create
-      ~prng:(Stimuli.Prng.split prng "flash-faults")
-      (flash_campaign_config ~fault_rate)
+let approach2 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_statements = 60)
+    ?(trace = Verif.Trace.null) () =
+  let config =
+    {
+      Session.default_config with
+      Session.session_name = "eee-approach2";
+      seed;
+      chunk = chunk_statements;
+      flash = Some (flash_campaign_config ~fault_rate);
+      trace;
+    }
   in
-  let ctrl = Flash_ctrl.create flash in
-  Esw.Vmem.map_device vmem (Flash_ctrl.ctrl_device ctrl ~base:Map.flash_ctrl_base);
-  Esw.Vmem.map_device vmem
-    (Flash_ctrl.window_device ctrl ~base:Map.flash_window_base
-       ~size:(min Map.flash_window_size (Flash.size_words flash)));
-  let mbox = Platform.Mailbox.create () in
-  Esw.Vmem.map_device vmem (Platform.Mailbox.device mbox ~base:Map.mailbox_base);
-  let model =
-    Esw.Esw_model.create kernel ~seed
-      ~on_tick:(fun () -> Flash.tick flash)
-      (Eee_program.derive ()) ~vmem
-  in
-  let checker = Checker.create ~name:"eee-approach2" () in
-  ignore (Sctc.Trigger.on_event kernel (Esw.Esw_model.pc_event model) checker);
-  ignore (Esw.Esw_model.start model ~entry:"main");
-  let advance () =
-    Sim.Kernel.run
-      ~max_time:(Sim.Kernel.now kernel + chunk_statements)
-      kernel
+  let session =
+    Session.create ~derived:(Eee_program.derive ()) config
+      Session.Derived_model
   in
   (* let the model run its initialization *)
-  advance ();
-  {
-    Driver.backend_name = "approach-2 (derived SystemC model)";
-    read_var = (fun name -> Esw.Esw_model.read_member model name);
-    in_function = (fun func -> Esw.Esw_prop.in_function model func);
-    mbox;
-    advance;
-    time_units = (fun () -> Esw.Esw_model.statements model);
-    checker;
-    alive =
-      (fun () ->
-        match Esw.Esw_model.outcome model with
-        | Esw.Esw_model.Running -> true
-        | Esw.Esw_model.Not_started | Esw.Esw_model.Done _
-        | Esw.Esw_model.Crashed _ ->
-          false);
-  }
+  Session.boot session;
+  session

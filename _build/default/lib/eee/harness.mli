@@ -1,7 +1,10 @@
-(** Backends binding the campaign driver to the two verification
+(** Sessions binding the campaign driver to the two verification
     approaches. Both run the identical EEPROM-emulation software against
     identical device models; they differ exactly as the paper's approaches
-    do — where the software executes and what triggers the checker. *)
+    do — where the software executes and what triggers the checker. Both
+    are assembled through {!Verif.Session} and returned booted (the
+    approach-1 initialization-flag handshake completed, the approach-2
+    model past its initialization chunk). *)
 
 val flash_campaign_config : fault_rate:float -> Dataflash.Flash.config
 (** Campaign flash geometry: 4 x 128 words, slow erase (wide EEE_BUSY
@@ -11,20 +14,22 @@ val approach1 :
   ?fault_rate:float ->
   ?seed:int ->
   ?chunk_cycles:int ->
+  ?trace:Verif.Trace.t ->
   unit ->
-  Driver.backend
+  Verif.Session.t
 (** Approach 1: compile the software, load it into the SoC, attach the ESW
     monitor (clock trigger + flag handshake), and boot until the software
     raises its initialization flag. [chunk_cycles] is the granularity of
-    {!Driver.backend.advance} (default 150). *)
+    {!Verif.Session.advance} (default 60). *)
 
 val approach2 :
   ?fault_rate:float ->
   ?seed:int ->
   ?chunk_statements:int ->
+  ?trace:Verif.Trace.t ->
   unit ->
-  Driver.backend
+  Verif.Session.t
 (** Approach 2: derive the SystemC software model, map flash controller,
     flash window and mailbox into the virtual memory model, attach the
     checker to the program-counter event, and start the model thread.
-    [chunk_statements] defaults to 400. *)
+    [chunk_statements] defaults to 60. *)

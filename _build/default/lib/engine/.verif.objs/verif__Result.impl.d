@@ -1,0 +1,1 @@
+lib/engine/result.ml: Format List Option Printf Sctc String Verdict

@@ -1,0 +1,1 @@
+lib/engine/result.mli: Format Sctc Verdict

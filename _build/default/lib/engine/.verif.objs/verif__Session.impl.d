@@ -1,0 +1,1 @@
+lib/engine/session.ml: Cpu Dataflash Esw List Mcc Minic Platform Printexc Printf Result Sctc Sim Stimuli String Trace Unix

@@ -1,0 +1,1 @@
+lib/engine/session.mli: Dataflash Esw Mcc Minic Platform Proposition Result Sctc Trace

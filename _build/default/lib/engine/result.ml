@@ -1,0 +1,70 @@
+module Coverage = Sctc.Coverage
+
+type property = {
+  property : string;
+  verdict : Verdict.t;
+  first_final_at : int option;
+}
+
+type t = {
+  backend : string;
+  properties : property list;
+  triggers : int;
+  time_units : int;
+  vt_seconds : float;
+  synthesis_seconds : float;
+  test_cases : int option;
+  timeouts : int;
+  coverage : Sctc.Coverage.t option;
+}
+
+let find result name =
+  match
+    List.find_opt (fun p -> String.equal p.property name) result.properties
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+let verdict result name = (find result name).verdict
+let first_final_at result name = (find result name).first_final_at
+
+let overall result =
+  List.fold_left
+    (fun acc p -> Verdict.combine acc p.verdict)
+    Verdict.True result.properties
+
+let completed_cases result =
+  match result.test_cases with Some n -> n | None -> 0
+
+let coverage_percent result =
+  match result.coverage with Some c -> Coverage.percent c | None -> 0.0
+
+let missing_returns result =
+  match result.coverage with Some c -> Coverage.missing c | None -> []
+
+let to_row ?name result =
+  let name = match name with Some n -> n | None -> result.backend in
+  Sctc.Report.row ?test_cases:result.test_cases
+    ?coverage_pct:(Option.map Coverage.percent result.coverage)
+    name result.vt_seconds
+    (Verdict.to_string (overall result))
+
+let pp fmt result =
+  Format.fprintf fmt "@[<v>%s: V.T.=%.3fs (synth %.3fs)  triggers=%d  units=%d"
+    result.backend result.vt_seconds result.synthesis_seconds result.triggers
+    result.time_units;
+  (match result.test_cases with
+  | Some cases -> Format.fprintf fmt "  T.C.=%d  timeouts=%d" cases result.timeouts
+  | None -> ());
+  (match result.coverage with
+  | Some coverage -> Format.fprintf fmt "  C=%.1f%%" (Coverage.percent coverage)
+  | None -> ());
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "@,  %-24s %-8s%s" p.property
+        (Verdict.to_string p.verdict)
+        (match p.first_final_at with
+        | Some tu -> Printf.sprintf "  (final at %d)" tu
+        | None -> ""))
+    result.properties;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,401 @@
+module Checker = Sctc.Checker
+module Flash = Dataflash.Flash
+module Flash_ctrl = Dataflash.Flash_ctrl
+module Map = Cpu.Memory_map
+
+type backend = Reference | Soc_model | Derived_model
+
+type config = {
+  session_name : string;
+  engine : Checker.engine;
+  properties : (string * string) list;
+  propositions : (string * string) list;
+  bound : int option;
+  fuel : int;
+  chunk : int;
+  seed : int;
+  flash : Flash.config option;
+  flag : string option;
+  trace : Trace.t;
+}
+
+let default_config =
+  {
+    session_name = "session";
+    engine = Checker.On_the_fly;
+    properties = [];
+    propositions = [];
+    bound = None;
+    fuel = 50_000_000;
+    chunk = 60;
+    seed = 42;
+    flash = None;
+    flag = None;
+    trace = Trace.null;
+  }
+
+type ref_state = {
+  env : Minic.Interp.env;
+  mutable executed : bool;
+  mutable crash : string option;
+}
+
+type runtime =
+  | Ref of ref_state
+  | Soc of { soc : Platform.Soc.t; monitor : Platform.Esw_monitor.t option }
+  | Model of {
+      kernel : Sim.Kernel.t;
+      model : Esw.Esw_model.t;
+      mbox : Platform.Mailbox.t;
+    }
+
+type t = {
+  config : config;
+  runtime : runtime;
+  chk : Checker.t;
+  mutable timer_started : float;
+  mutable units_at_timer : int;
+  mutable crash_reported : bool;
+}
+
+(* tiny pure-expression evaluator for textual proposition definitions *)
+let rec eval_pure lookup (e : Minic.Ast.expr) =
+  let module A = Minic.Ast in
+  let module V = Minic.Value in
+  match e.A.edesc with
+  | A.Int_lit v -> v
+  | A.Bool_lit b -> V.of_bool b
+  | A.Var x -> lookup x
+  | A.Unop (A.Neg, a) -> V.neg (eval_pure lookup a)
+  | A.Unop (A.Bitnot, a) -> V.lognot (eval_pure lookup a)
+  | A.Unop (A.Lognot, a) -> V.of_bool (not (V.to_bool (eval_pure lookup a)))
+  | A.Binop (op, a, b) -> (
+    let va = eval_pure lookup a in
+    match op with
+    | A.Land -> V.of_bool (V.to_bool va && V.to_bool (eval_pure lookup b))
+    | A.Lor -> V.of_bool (V.to_bool va || V.to_bool (eval_pure lookup b))
+    | _ -> (
+      let vb = eval_pure lookup b in
+      match op with
+      | A.Add -> V.add va vb
+      | A.Sub -> V.sub va vb
+      | A.Mul -> V.mul va vb
+      | A.Div -> V.div va vb
+      | A.Mod -> V.rem va vb
+      | A.Band -> V.logand va vb
+      | A.Bor -> V.logor va vb
+      | A.Bxor -> V.logxor va vb
+      | A.Shl -> V.shift_left va vb
+      | A.Shr -> V.shift_right va vb
+      | A.Lt -> V.of_bool (va < vb)
+      | A.Le -> V.of_bool (va <= vb)
+      | A.Gt -> V.of_bool (va > vb)
+      | A.Ge -> V.of_bool (va >= vb)
+      | A.Eq -> V.of_bool (va = vb)
+      | A.Ne -> V.of_bool (va <> vb)
+      | A.Land | A.Lor -> assert false))
+  | A.Index _ | A.Call _ | A.Nondet _ | A.Mem_read _ ->
+    failwith "propositions must be pure expressions over globals"
+
+let backend_kind session =
+  match session.runtime with
+  | Ref _ -> Reference
+  | Soc _ -> Soc_model
+  | Model _ -> Derived_model
+
+let backend_name session =
+  match session.runtime with
+  | Ref _ -> "reference interpreter"
+  | Soc _ -> "approach-1 (microprocessor model)"
+  | Model _ -> "approach-2 (derived SystemC model)"
+
+let checker session = session.chk
+let trace session = session.config.trace
+
+let read_var session name =
+  match session.runtime with
+  | Ref r -> Minic.Interp.read_global r.env name
+  | Soc s -> Platform.Soc.read_var s.soc name
+  | Model m -> Esw.Esw_model.read_member m.model name
+
+let in_function session func =
+  match session.runtime with
+  | Ref _ ->
+    invalid_arg "Verif.Session.in_function: unsupported on the reference backend"
+  | Soc s -> Platform.Mem_prop.in_function s.soc func
+  | Model m -> Esw.Esw_prop.in_function m.model func
+
+let mailbox session =
+  match session.runtime with
+  | Ref _ ->
+    invalid_arg "Verif.Session.mailbox: the reference backend has no mailbox"
+  | Soc s -> Platform.Soc.mailbox s.soc
+  | Model m -> m.mbox
+
+let time_units session =
+  match session.runtime with
+  | Ref r -> Minic.Interp.statements_executed r.env
+  | Soc s -> Platform.Soc.cycles s.soc
+  | Model m -> Esw.Esw_model.statements m.model
+
+let alive session =
+  match session.runtime with
+  | Ref r -> not r.executed
+  | Soc s -> not (Platform.Soc.cpu_stopped s.soc)
+  | Model m -> (
+    match Esw.Esw_model.outcome m.model with
+    | Esw.Esw_model.Running | Esw.Esw_model.Not_started -> true
+    | Esw.Esw_model.Done _ | Esw.Esw_model.Crashed _ -> false)
+
+let crashed session =
+  match session.runtime with
+  | Ref r -> r.crash
+  | Soc s -> (
+    match Cpu.Cpu_core.stop_reason (Platform.Soc.cpu s.soc) with
+    | Cpu.Cpu_core.Trapped code -> Some (Printf.sprintf "trap %d" code)
+    | Cpu.Cpu_core.Halted | Cpu.Cpu_core.Running -> None)
+  | Model m -> (
+    match Esw.Esw_model.outcome m.model with
+    | Esw.Esw_model.Crashed exn -> Some (Printexc.to_string exn)
+    | _ -> None)
+
+let check_crash session =
+  if not session.crash_reported then
+    match crashed session with
+    | Some reason ->
+      session.crash_reported <- true;
+      if Trace.enabled session.config.trace then
+        Trace.emit session.config.trace (Trace.Software_crashed { reason })
+    | None -> ()
+
+(* the reference backend has no resumable process: the first advance/run
+   executes the whole program, stepping the checker per statement *)
+let run_reference session r =
+  if not r.executed then begin
+    r.executed <- true;
+    let trace = session.config.trace in
+    if Trace.enabled trace then
+      Trace.emit trace (Trace.Handshake_armed { source = "interpreter" });
+    let step () =
+      if Trace.enabled trace then Trace.emit trace Trace.Trigger;
+      Checker.step session.chk
+    in
+    let hooks =
+      {
+        (Minic.Interp.default_hooks ()) with
+        Minic.Interp.on_statement = (fun _ -> step ());
+      }
+    in
+    match Minic.Interp.run ~fuel:session.config.fuel r.env hooks ~entry:"main" with
+    | Minic.Interp.Finished _ | Minic.Interp.Halted
+    | Minic.Interp.Fuel_exhausted ->
+      (* on_statement fires before each statement executes, so sample once
+         more to observe the terminal state, as the other backends do *)
+      step ()
+    | exception Minic.Interp.Assertion_failed pos ->
+      r.crash <-
+        Some
+          (Printf.sprintf "assertion failed at %d:%d" pos.Minic.Ast.line
+             pos.Minic.Ast.column)
+    | exception Minic.Interp.Runtime_error (msg, _) -> r.crash <- Some msg
+  end
+
+let advance session =
+  (match session.runtime with
+  | Ref r -> run_reference session r
+  | Soc s -> Platform.Soc.run ~max_cycles:session.config.chunk s.soc
+  | Model m ->
+    Sim.Kernel.run
+      ~max_time:(Sim.Kernel.now m.kernel + session.config.chunk)
+      m.kernel);
+  check_crash session
+
+let run ?bound session =
+  let budget =
+    match bound with
+    | Some b -> b
+    | None -> (
+      match session.config.bound with
+      | Some b -> b
+      | None -> session.config.fuel)
+  in
+  (match session.runtime with
+  | Ref r -> run_reference session r
+  | Soc s -> Platform.Soc.run ~max_cycles:budget s.soc
+  | Model m ->
+    Sim.Kernel.run ~max_time:(Sim.Kernel.now m.kernel + budget) m.kernel);
+  check_crash session
+
+let boot ?(attempts = 50) session =
+  match session.runtime with
+  | Ref _ -> ()
+  | Soc s -> (
+    match s.monitor with
+    | None -> ()
+    | Some monitor ->
+      let rec go n =
+        if (not (Platform.Esw_monitor.initialized monitor)) && n > 0 then begin
+          Platform.Soc.run ~max_cycles:200 s.soc;
+          go (n - 1)
+        end
+      in
+      go attempts;
+      if not (Platform.Esw_monitor.initialized monitor) then
+        failwith
+          (Printf.sprintf "Verif.Session.boot(%s): software never initialized"
+             session.config.session_name))
+  | Model _ -> advance session
+
+let restart_timer session =
+  session.timer_started <- Unix.gettimeofday ();
+  session.units_at_timer <- time_units session
+
+let result ?test_cases ?(timeouts = 0) ?coverage session =
+  let elapsed = Unix.gettimeofday () -. session.timer_started in
+  let synthesis = Checker.synthesis_seconds session.chk in
+  {
+    Result.backend = backend_name session;
+    properties =
+      List.map
+        (fun (name, verdict) ->
+          {
+            Result.property = name;
+            verdict;
+            first_final_at = Checker.first_final_at session.chk name;
+          })
+        (Checker.verdicts session.chk);
+    triggers = Checker.steps session.chk;
+    time_units = time_units session - session.units_at_timer;
+    vt_seconds = elapsed +. synthesis;
+    synthesis_seconds = synthesis;
+    test_cases;
+    timeouts;
+    coverage;
+  }
+
+let close session = Trace.close session.config.trace
+
+(* ------------------------------------------------------------------ *)
+(* Assembly — the one place a verification backend is built            *)
+
+let build_soc config compiled =
+  let base = Platform.Soc.default_config in
+  let soc_config =
+    {
+      base with
+      Platform.Soc.seed = config.seed;
+      flash =
+        (match config.flash with
+        | Some flash -> flash
+        | None -> base.Platform.Soc.flash);
+    }
+  in
+  let soc = Platform.Soc.create ~config:soc_config () in
+  Platform.Soc.load soc compiled;
+  soc
+
+(* approach 2 maps the same device topology as the SoC — flash controller,
+   flash window, mailbox — into the derived model's virtual memory, so
+   both approaches run the identical software against identical devices *)
+let build_model config derived =
+  let kernel = Sim.Kernel.create () in
+  let vmem = Esw.Vmem.create () in
+  let prng = Stimuli.Prng.create ~seed:config.seed in
+  let flash_config =
+    match config.flash with
+    | Some flash -> flash
+    | None -> Flash.default_config
+  in
+  let flash =
+    Flash.create ~prng:(Stimuli.Prng.split prng "flash-faults") flash_config
+  in
+  let ctrl = Flash_ctrl.create flash in
+  Esw.Vmem.map_device vmem (Flash_ctrl.ctrl_device ctrl ~base:Map.flash_ctrl_base);
+  Esw.Vmem.map_device vmem
+    (Flash_ctrl.window_device ctrl ~base:Map.flash_window_base
+       ~size:(min Map.flash_window_size (Flash.size_words flash)));
+  let mbox = Platform.Mailbox.create () in
+  Esw.Vmem.map_device vmem (Platform.Mailbox.device mbox ~base:Map.mailbox_base);
+  let model =
+    Esw.Esw_model.create kernel ~seed:config.seed
+      ~on_tick:(fun () -> Flash.tick flash)
+      derived ~vmem
+  in
+  (kernel, model, mbox)
+
+let create ?compiled ?derived ?info config backend =
+  let chk = Checker.create ~trace:config.trace ~name:config.session_name () in
+  let require_info what =
+    match info with
+    | Some info -> info
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Verif.Session.create: the %s backend needs %s" what
+           (if String.equal what "reference" then "~info"
+            else "~" ^ (if String.equal what "Soc_model" then "compiled"
+                        else "derived") ^ " or ~info"))
+  in
+  let runtime =
+    match backend with
+    | Reference ->
+      let info =
+        match info with
+        | Some info -> info
+        | None -> require_info "reference"
+      in
+      Ref { env = Minic.Interp.create info; executed = false; crash = None }
+    | Soc_model ->
+      let compiled =
+        match compiled with
+        | Some compiled -> compiled
+        | None -> Mcc.Codegen.compile (require_info "Soc_model")
+      in
+      let soc = build_soc config compiled in
+      let monitor =
+        match config.flag with
+        | Some flag -> Some (Platform.Esw_monitor.attach soc ~flag chk)
+        | None ->
+          ignore
+            (Sctc.Trigger.on_clock (Platform.Soc.kernel soc)
+               (Platform.Soc.clock soc) chk);
+          None
+      in
+      Soc { soc; monitor }
+    | Derived_model ->
+      let derived =
+        match derived with
+        | Some derived -> derived
+        | None -> Esw.C2sc.derive (require_info "Derived_model")
+      in
+      let kernel, model, mbox = build_model config derived in
+      ignore (Sctc.Trigger.on_event kernel (Esw.Esw_model.pc_event model) chk);
+      ignore (Esw.Esw_model.start ~fuel:config.fuel model ~entry:"main");
+      Model { kernel; model; mbox }
+  in
+  let session =
+    {
+      config;
+      runtime;
+      chk;
+      timer_started = Unix.gettimeofday ();
+      units_at_timer = 0;
+      crash_reported = false;
+    }
+  in
+  session.units_at_timer <- time_units session;
+  let time_source () = time_units session in
+  Checker.set_time_source chk time_source;
+  if Trace.enabled config.trace then
+    Trace.set_time_source config.trace time_source;
+  let lookup = read_var session in
+  List.iter
+    (fun (name, text) ->
+      let expr = Minic.C_parser.parse_expr text in
+      Checker.register_sampler chk name (fun () ->
+          Minic.Value.to_bool (eval_pure lookup expr)))
+    config.propositions;
+  List.iter
+    (fun (name, text) ->
+      Checker.add_property_text ~engine:config.engine chk ~name text)
+    config.properties;
+  session

@@ -1,0 +1,121 @@
+(** One verification session: a software backend, a temporal checker wired
+    to the backend's timing reference, and a trace bus — the single place
+    where a verification backend is assembled.
+
+    The three backends mirror the paper plus the repro's reference
+    semantics:
+
+    - {!Reference}: the MiniC reference interpreter, the checker stepped
+      per executed statement. No mailbox, no devices.
+    - {!Soc_model} (approach 1): the software compiled and loaded into the
+      cycle-level SoC; the checker is clock-triggered, optionally through
+      the ESW monitor's initialization-flag handshake ([config.flag]).
+      Time units are clock cycles.
+    - {!Derived_model} (approach 2): the derived software model running in
+      the simulation kernel with the standard device topology (data-flash
+      controller + window, mailbox) mapped into its virtual memory; the
+      checker is program-counter-event triggered. Time units are executed
+      statements.
+
+    The session installs its time-unit counter as the checker's and the
+    trace bus's time source, so first-final-verdict stamps and trace
+    events carry backend time. *)
+
+type backend = Reference | Soc_model | Derived_model
+
+type config = {
+  session_name : string;  (** checker name, used in error messages *)
+  engine : Sctc.Checker.engine;  (** for [config.properties] *)
+  properties : (string * string) list;  (** name, FLTL text *)
+  propositions : (string * string) list;
+      (** name, pure boolean MiniC expression over the software's globals *)
+  bound : int option;  (** default time-unit budget of {!run} *)
+  fuel : int;  (** statement budget (reference / derived model) *)
+  chunk : int;  (** time units per {!advance} *)
+  seed : int;  (** stimulus master seed *)
+  flash : Dataflash.Flash.config option;  (** [None]: platform default *)
+  flag : string option;
+      (** approach-1 only: attach the ESW monitor with this
+          initialization-flag variable instead of a bare clock trigger *)
+  trace : Trace.t;  (** event bus; {!Trace.null} disables tracing *)
+}
+
+val default_config : config
+(** ["session"], on-the-fly engine, no properties, no bound, fuel 50e6,
+    chunk 60, seed 42, default flash, no flag, null trace. *)
+
+type t
+
+val create :
+  ?compiled:Mcc.Codegen.compiled ->
+  ?derived:Esw.C2sc.derived ->
+  ?info:Minic.Typecheck.info ->
+  config ->
+  backend ->
+  t
+(** Assemble the backend, attach the checker to its trigger, and register
+    [config.propositions] / [config.properties]. Each backend needs its
+    program in one of the accepted forms — [Reference]: [~info];
+    [Soc_model]: [~compiled] (or [~info], compiled here); [Derived_model]:
+    [~derived] (or [~info], derived here). Passing a memoized
+    [~compiled]/[~derived] avoids recompiling per session.
+    @raise Invalid_argument when the needed form is missing. *)
+
+(** {2 Introspection} *)
+
+val backend_kind : t -> backend
+val backend_name : t -> string
+val checker : t -> Sctc.Checker.t
+val trace : t -> Trace.t
+
+val read_var : t -> string -> int
+(** Observe a software global through the backend's memory interface. *)
+
+val in_function : t -> string -> Proposition.t
+(** Proposition "execution is inside this function" ([fname]-based).
+    @raise Invalid_argument on the reference backend. *)
+
+val mailbox : t -> Platform.Mailbox.t
+(** The testbench request/response mailbox.
+    @raise Invalid_argument on the reference backend. *)
+
+val time_units : t -> int
+(** Cycles (SoC) / statements (reference, derived model) consumed. *)
+
+val alive : t -> bool
+(** The software is still executing (or has not started yet). *)
+
+val crashed : t -> string option
+(** Trap / assertion failure / runtime error of the software, if any. *)
+
+(** {2 Driving} *)
+
+val boot : ?attempts:int -> t -> unit
+(** Bring the backend up: with an ESW monitor, run until the handshake
+    completes (at most [attempts] * 200 cycles, default 50 attempts,
+    [failwith] on failure); derived model: run one initialization chunk;
+    reference: no-op. *)
+
+val advance : t -> unit
+(** Progress the simulation by [config.chunk] time units (reference
+    backend: execute the whole program on first call). *)
+
+val run : ?bound:int -> t -> unit
+(** Advance by [bound] time units from now (default [config.bound], then
+    [config.fuel]). Stops early when the software halts. *)
+
+(** {2 Results} *)
+
+val restart_timer : t -> unit
+(** Zero the wall-clock and time-unit baselines used by {!result} (e.g.
+    at the start of a campaign, excluding boot cost). *)
+
+val result :
+  ?test_cases:int -> ?timeouts:int -> ?coverage:Sctc.Coverage.t -> t ->
+  Result.t
+(** Snapshot verdicts, trigger counts, per-property first-final times and
+    the wall-clock/synthesis split since the last {!restart_timer} (or
+    session creation). *)
+
+val close : t -> unit
+(** Close the trace bus's sinks (flushes a JSONL file sink). *)

@@ -17,8 +17,14 @@ let attach_at soc ~flag_address chk =
     wait_initialized ();
     monitor.init_done <- true;
     monitor.armed_cycle <- Some (Sim.Clock.cycles clock);
+    let trace = Sctc.Checker.trace chk in
+    if Sctc.Trace.enabled trace then
+      Sctc.Trace.emit trace
+        (Sctc.Trace.Handshake_armed { source = "esw_monitor" });
     (* monitor the temporal properties on every clock edge *)
     let rec monitor_loop () =
+      if Sctc.Trace.enabled trace then
+        Sctc.Trace.emit trace Sctc.Trace.Trigger;
       Sctc.Checker.step chk;
       Sim.Clock.wait_posedge clock;
       monitor_loop ()

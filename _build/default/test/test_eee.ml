@@ -11,15 +11,15 @@ module Coverage = Sctc.Coverage
 
 let check_verdict = Alcotest.check (Alcotest.testable Verdict.pp Verdict.equal)
 
-(* issue one op through a backend's mailbox and wait for the response *)
-let issue ?(max_chunks = 400) (backend : Driver.backend) op ~arg0 ~arg1 =
-  Mailbox.post_request backend.Driver.mbox ~op:(Spec.op_code op) ~arg0 ~arg1;
+(* issue one op through a session's mailbox and wait for the response *)
+let issue ?(max_chunks = 400) session op ~arg0 ~arg1 =
+  let mbox = Verif.Session.mailbox session in
+  Mailbox.post_request mbox ~op:(Spec.op_code op) ~arg0 ~arg1;
   let rec wait chunk =
-    if Mailbox.response_ready backend.Driver.mbox then
-      Mailbox.take_response backend.Driver.mbox
+    if Mailbox.response_ready mbox then Mailbox.take_response mbox
     else if chunk >= max_chunks then Alcotest.fail "operation timed out"
     else begin
-      backend.Driver.advance ();
+      Verif.Session.advance session;
       wait (chunk + 1)
     end
   in
@@ -82,14 +82,14 @@ let test_lifecycle_format_write_read () =
   Alcotest.(check int) "read id=3" (code "OK")
     (issue backend Spec.Read ~arg0:3 ~arg1:0);
   Alcotest.(check int) "read returns stored value" 777
-    (backend.Driver.read_var "eee_read_value");
+    (Verif.Session.read_var backend "eee_read_value");
   (* overwrite: latest record wins *)
   Alcotest.(check int) "write id=3 again" (code "OK")
     (issue backend Spec.Write ~arg0:3 ~arg1:888);
   Alcotest.(check int) "read id=3 again" (code "OK")
     (issue backend Spec.Read ~arg0:3 ~arg1:0);
   Alcotest.(check int) "latest value" 888
-    (backend.Driver.read_var "eee_read_value");
+    (Verif.Session.read_var backend "eee_read_value");
   (* unknown id *)
   Alcotest.(check int) "read unwritten id" (code "NO_INSTANCE")
     (issue backend Spec.Read ~arg0:9 ~arg1:0);
@@ -113,10 +113,10 @@ let test_startup_sequence_restores_state () =
   Alcotest.(check int) "read id=5 after restart" (code "OK")
     (issue backend Spec.Read ~arg0:5 ~arg1:0);
   Alcotest.(check int) "value survived" 123
-    (backend.Driver.read_var "eee_read_value");
+    (Verif.Session.read_var backend "eee_read_value");
   ignore (issue backend Spec.Read ~arg0:7 ~arg1:0);
   Alcotest.(check int) "second value survived" 456
-    (backend.Driver.read_var "eee_read_value")
+    (Verif.Session.read_var backend "eee_read_value")
 
 let test_startup2_requires_startup1 () =
   let backend = fresh_backend () in
@@ -145,14 +145,14 @@ let test_pool_full_and_refresh () =
   Alcotest.(check int) "refresh" (code "OK")
     (issue backend Spec.Refresh ~arg0:0 ~arg1:0);
   (* refresh erases the old pool in the background: let it finish *)
-  for _ = 1 to 40 do backend.Driver.advance () done;
+  for _ = 1 to 40 do Verif.Session.advance backend done;
   Alcotest.(check int) "write works again" (code "OK")
     (issue backend Spec.Write ~arg0:1 ~arg1:4242);
   (* latest values preserved across the pool swap: id 14 last written 62 *)
   Alcotest.(check int) "read preserved id" (code "OK")
     (issue backend Spec.Read ~arg0:14 ~arg1:0);
   Alcotest.(check int) "compacted value" 62
-    (backend.Driver.read_var "eee_read_value")
+    (Verif.Session.read_var backend "eee_read_value")
 
 let test_busy_during_background_erase () =
   let backend = fresh_backend () in
@@ -165,7 +165,7 @@ let test_busy_during_background_erase () =
   let ret = issue ~max_chunks:2 backend Spec.Format ~arg0:0 ~arg1:0 in
   Alcotest.(check int) "busy during background erase" (code "BUSY") ret;
   (* after the erase completes the same operation succeeds *)
-  for _ = 1 to 40 do backend.Driver.advance () done;
+  for _ = 1 to 40 do Verif.Session.advance backend done;
   Alcotest.(check int) "ready afterwards" (code "OK")
     (issue backend Spec.Format ~arg0:0 ~arg1:0)
 
@@ -186,7 +186,7 @@ let test_approach1_lifecycle () =
   Alcotest.(check int) "read" (code "OK")
     (issue backend Spec.Read ~arg0:4 ~arg1:0);
   Alcotest.(check int) "value via memory interface" 31415
-    (backend.Driver.read_var "eee_read_value");
+    (Verif.Session.read_var backend "eee_read_value");
   Alcotest.(check int) "read unwritten" (code "NO_INSTANCE")
     (issue backend Spec.Read ~arg0:11 ~arg1:0)
 
@@ -200,16 +200,16 @@ let test_properties_hold_during_campaign () =
       watchdog_chunks = 400 }
   in
   let outcome = Driver.run_campaign backend config Spec.Read in
-  Alcotest.(check int) "all cases completed" 40 outcome.Driver.completed_cases;
+  Alcotest.(check int) "all cases completed" 40 (Verif.Result.completed_cases outcome);
   Alcotest.(check bool) "some coverage" true
-    (Coverage.percent outcome.Driver.coverage > 30.0);
+    (Verif.Result.coverage_percent outcome > 30.0);
   (* the software conforms: the response property must never be violated *)
   check_verdict "read property not violated" Verdict.Pending
-    outcome.Driver.verdict;
+    (Verif.Result.verdict outcome (Spec.property_name Spec.Read));
   (* every op's property is non-violated *)
   List.iter
     (fun op ->
-      let verdict = Checker.verdict backend.Driver.checker (Spec.property_name op) in
+      let verdict = Checker.verdict (Verif.Session.checker backend) (Spec.property_name op) in
       Alcotest.(check bool)
         (Spec.op_name op ^ " not violated")
         true
@@ -225,7 +225,7 @@ let test_coverage_improves_with_test_cases () =
         watchdog_chunks = 400 }
     in
     let outcome = Driver.run_campaign backend config Spec.Write in
-    Coverage.percent outcome.Driver.coverage
+    Verif.Result.coverage_percent outcome
   in
   let few = run 5 in
   let many = run 80 in
@@ -241,7 +241,7 @@ let test_bounded_property_violation_detected () =
   Driver.install_spec ~bound:(Some 3) backend [ Spec.Format ];
   ignore (issue backend Spec.Format ~arg0:0 ~arg1:0);
   check_verdict "tight bound violated" Verdict.False
-    (Checker.verdict backend.Driver.checker (Spec.property_name Spec.Format))
+    (Checker.verdict (Verif.Session.checker backend) (Spec.property_name Spec.Format))
 
 let test_analysis_harness () =
   (* the closed nondet-driven variant used by the formal baselines *)

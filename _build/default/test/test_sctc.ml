@@ -4,6 +4,7 @@
 module Checker = Sctc.Checker
 module Coverage = Sctc.Coverage
 module Report = Sctc.Report
+module Trace = Sctc.Trace
 module Trigger = Sctc.Trigger
 module Kernel = Sim.Kernel
 module Clock = Sim.Clock
@@ -201,8 +202,37 @@ let test_report_rendering () =
   Alcotest.(check bool) "coverage" true (contains "87.5" text);
   Alcotest.(check bool) "dash for missing" true (contains "-" text);
   let csv = Report.csv rows in
-  Alcotest.(check bool) "csv has both lines" true
-    (List.length (String.split_on_char '\n' csv) = 2)
+  let csv_lines = String.split_on_char '\n' csv in
+  Alcotest.(check int) "csv is header plus both rows" 3
+    (List.length csv_lines);
+  Alcotest.(check string) "csv header"
+    "name,vt_seconds,test_cases,coverage_pct,result" (List.hd csv_lines)
+
+let test_report_csv_quoting () =
+  (* RFC 4180: fields holding commas or quotes are quoted, embedded quotes
+     doubled; plain fields stay bare *)
+  let csv = Report.csv [ Report.row "Read,\"raw\"" 1.0 "ok" ] in
+  match String.split_on_char '\n' csv with
+  | [ _header; data ] ->
+    Alcotest.(check string) "quoted row" "\"Read,\"\"raw\"\"\",1.000000,,,ok"
+      data
+  | _ -> Alcotest.fail "expected exactly header and one data line"
+
+let test_report_jsonl () =
+  let rows =
+    [
+      Report.row ~test_cases:100 ~coverage_pct:87.5 "Read" 1.25 "pass";
+      Report.row "Write" 0.5 "Exception";
+    ]
+  in
+  let lines = String.split_on_char '\n' (Report.jsonl rows) in
+  Alcotest.(check int) "one object per row" 2 (List.length lines);
+  Alcotest.(check string) "row with all columns"
+    {|{"name":"Read","vt_seconds":1.250000,"test_cases":100,"coverage_pct":87.5,"result":"pass"}|}
+    (List.hd lines);
+  Alcotest.(check string) "missing columns are null"
+    {|{"name":"Write","vt_seconds":0.500000,"test_cases":null,"coverage_pct":null,"result":"Exception"}|}
+    (List.nth lines 1)
 
 (* --- sim triggers ----------------------------------------------------------- *)
 
@@ -250,6 +280,42 @@ let test_trigger_handshake () =
   Alcotest.(check bool) "stepped after handshake only" true
     (Checker.steps checker < 8 && Checker.steps checker > 0)
 
+let test_trigger_handshake_arms_once () =
+  (* triggers consumed while ready() is still false must not step the
+     checker, and the bus must see exactly one Handshake_armed event *)
+  let kernel = Kernel.create () in
+  let clock = Clock.create kernel ~name:"clk" ~period:10 () in
+  let trace = Trace.create () in
+  let sink, events = Trace.memory_sink () in
+  Trace.attach trace sink;
+  let initialized = ref false in
+  let checker = Checker.create ~trace ~name:"hs2" () in
+  Checker.register_sampler checker "initialized" (fun () -> !initialized);
+  Checker.add_property_text checker ~name:"init-stays" "G initialized";
+  ignore
+    (Trigger.on_event_when kernel (Clock.posedge clock)
+       ~ready:(fun () -> !initialized)
+       checker);
+  ignore
+    (Kernel.spawn kernel ~name:"boot" (fun () ->
+         Kernel.wait_for kernel 35;
+         initialized := true));
+  Kernel.run ~max_time:200 kernel;
+  let count pred = List.length (List.filter pred (events ())) in
+  Alcotest.(check int) "armed exactly once" 1
+    (count (fun e ->
+         match e.Trace.kind with Trace.Handshake_armed _ -> true | _ -> false));
+  let triggers =
+    count (fun e -> match e.Trace.kind with Trace.Trigger -> true | _ -> false)
+  in
+  Alcotest.(check bool) "steps only after the handshake" true (triggers > 0);
+  Alcotest.(check int) "every published trigger stepped the checker" triggers
+    (Checker.steps checker);
+  (* the clock edges at t = 10, 20, 30 precede the handshake: they are
+     consumed without stepping, so strictly fewer steps than edges *)
+  Alcotest.(check bool) "pre-handshake edges consumed silently" true
+    (triggers <= (200 / 10) - 3)
+
 let suite_checker =
   [
     Alcotest.test_case "basic run" `Quick test_checker_basic_run;
@@ -273,12 +339,16 @@ let suite_coverage =
     Alcotest.test_case "basic" `Quick test_coverage_basic;
     Alcotest.test_case "merge and reset" `Quick test_coverage_merge_and_reset;
     Alcotest.test_case "report rendering" `Quick test_report_rendering;
+    Alcotest.test_case "csv quoting" `Quick test_report_csv_quoting;
+    Alcotest.test_case "jsonl report" `Quick test_report_jsonl;
   ]
 
 let suite_trigger =
   [
     Alcotest.test_case "on clock" `Quick test_trigger_on_clock;
     Alcotest.test_case "handshake gating" `Quick test_trigger_handshake;
+    Alcotest.test_case "handshake arms exactly once" `Quick
+      test_trigger_handshake_arms_once;
   ]
 
 let () =

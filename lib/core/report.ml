@@ -49,13 +49,56 @@ let pp_table fmt ~title ~columns rows =
 let to_string ~title ~columns rows =
   Format.asprintf "%a" (fun fmt () -> pp_table fmt ~title ~columns rows) ()
 
+(* RFC-4180: quote a field iff it contains a comma, quote, CR or LF;
+   embedded quotes are doubled *)
+let csv_field text =
+  let needs_quoting =
+    String.exists
+      (function ',' | '"' | '\n' | '\r' -> true | _ -> false)
+      text
+  in
+  if not needs_quoting then text
+  else begin
+    let buffer = Buffer.create (String.length text + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      text;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+
+let csv_header = "name,vt_seconds,test_cases,coverage_pct,result"
+
 let csv rows =
   let cell_option f = function None -> "" | Some v -> f v in
   String.concat "\n"
+    (csv_header
+    :: List.map
+         (fun row ->
+           String.concat ","
+             [
+               csv_field row.row_name;
+               Printf.sprintf "%.6f" row.vt_seconds;
+               cell_option string_of_int row.test_cases;
+               cell_option (Printf.sprintf "%.2f") row.coverage_pct;
+               csv_field row.result;
+             ])
+         rows)
+
+let jsonl rows =
+  String.concat "\n"
     (List.map
        (fun row ->
-         Printf.sprintf "%s,%.6f,%s,%s,%s" row.row_name row.vt_seconds
-           (cell_option string_of_int row.test_cases)
-           (cell_option (Printf.sprintf "%.2f") row.coverage_pct)
-           row.result)
+         Trace.Json.obj
+           [
+             ("name", Trace.Json.string row.row_name);
+             ("vt_seconds", Printf.sprintf "%.6f" row.vt_seconds);
+             ("test_cases", Trace.Json.option Trace.Json.int row.test_cases);
+             ( "coverage_pct",
+               Trace.Json.option Trace.Json.float row.coverage_pct );
+             ("result", Trace.Json.string row.result);
+           ])
        rows)

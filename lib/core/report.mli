@@ -23,4 +23,11 @@ val pp_table :
 val to_string : title:string -> columns:string list -> row list -> string
 
 val csv : row list -> string
-(** Machine-readable dump (one line per row). *)
+(** Machine-readable dump: an RFC-4180 header line
+    ([name,vt_seconds,test_cases,coverage_pct,result]) followed by one
+    line per row; fields containing commas, quotes, or newlines are
+    quoted and embedded quotes doubled. No trailing newline. *)
+
+val jsonl : row list -> string
+(** One JSON object per row (same fields as the CSV; absent optional
+    fields render as [null]). No trailing newline. *)

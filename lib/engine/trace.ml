@@ -1,0 +1,5 @@
+(* The event bus lives in [Sctc.Trace] so the core checker and trigger
+   helpers can publish without depending on this library; re-export it
+   here (with all type equalities) as the engine-facing name. *)
+
+include Sctc.Trace

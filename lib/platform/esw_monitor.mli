@@ -5,7 +5,11 @@
     the embedded software — polling the initialization [flag] variable in
     processor memory — and only then arms the temporal property monitors.
     From that point on, every rising clock edge samples the propositions
-    and steps every AR-automaton. *)
+    and steps every AR-automaton.
+
+    When the checker carries a live {!Sctc.Trace.t} bus, the monitor
+    publishes [Handshake_armed] (source ["esw_monitor"]) once the flag
+    poll completes and a [Trigger] event per monitored clock edge. *)
 
 type t
 
