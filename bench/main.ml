@@ -27,6 +27,7 @@ let scale = ref 1
 let fig7_timeout = ref 5.0
 let table = ref "all"
 let run_micro = ref true
+let jobs = ref 4
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: BLAST-analog and CBMC-analog on the case-study properties   *)
@@ -110,41 +111,44 @@ let fig8_columns () =
       cases = 200 * !scale };
   ]
 
+(* the paper's SCTC synthesizes explicit AR-automata: time bounds show up
+   as AR generation time inside V.T.; every column is one campaign over
+   the worker pool (--jobs) with per-op stimulus split from the seed *)
+let column_plan column =
+  {
+    Harness.default_plan with
+    Harness.ops = Spec.all_ops;
+    approaches = [ column.approach ];
+    cases_per_op = column.cases;
+    bound = column.bound;
+    engine = Checker.Explicit;
+    fault_rate = 0.03;
+    seed = 101 + !scale;
+  }
+
 let run_fig8_column column =
-  Printf.printf "--- %s (%d test cases/op) ---\n" column.col_name column.cases;
+  Printf.printf "--- %s (%d test cases/op, %d workers) ---\n" column.col_name
+    column.cases !jobs;
   Printf.printf "%-10s %9s %7s %7s %9s  %s\n" "Property" "V.T.(s)" "T.C."
     "C.(%)" "verdict" "missing returns";
+  let summary = Harness.run_campaign ~workers:!jobs (column_plan column) in
   let total_time = ref 0.0 in
-  List.iter
-    (fun op ->
-      let session =
-        match column.approach with
-        | 1 -> Harness.approach1 ~fault_rate:0.03 ~seed:(7 * !scale) ()
-        | _ -> Harness.approach2 ~fault_rate:0.03 ~seed:(7 * !scale) ()
-      in
-      (* the paper's SCTC synthesizes explicit AR-automata: time bounds
-         show up as AR generation time inside V.T. *)
-      Driver.install_spec ~bound:column.bound ~engine:Checker.Explicit session
-        [ op ];
-      let config =
-        {
-          Driver.default_config with
-          test_cases = column.cases;
-          bound = column.bound;
-          engine = Checker.Explicit;
-          seed = 101 + !scale;
-        }
-      in
-      let outcome = Driver.run_campaign session config op in
-      total_time := !total_time +. outcome.Verif.Result.vt_seconds;
-      Printf.printf "%-10s %9.2f %7d %7.1f %9s  %s\n" (Spec.op_name op)
-        outcome.Verif.Result.vt_seconds
-        (Verif.Result.completed_cases outcome)
-        (Verif.Result.coverage_percent outcome)
-        (Verdict.to_string (Verif.Result.verdict outcome (Spec.property_name op)))
-        (String.concat "," (Verif.Result.missing_returns outcome)))
-    Spec.all_ops;
-  Printf.printf "column total: %.2fs\n\n" !total_time;
+  List.iter2
+    (fun op outcome ->
+      match outcome.Verif.Campaign.result with
+      | Error msg -> Printf.printf "%-10s  job failed: %s\n" (Spec.op_name op) msg
+      | Ok result ->
+        total_time := !total_time +. result.Verif.Result.vt_seconds;
+        Printf.printf "%-10s %9.2f %7d %7.1f %9s  %s\n" (Spec.op_name op)
+          result.Verif.Result.vt_seconds
+          (Verif.Result.completed_cases result)
+          (Verif.Result.coverage_percent result)
+          (Verdict.to_string
+             (Verif.Result.verdict result (Spec.property_name op)))
+          (String.concat "," (Verif.Result.missing_returns result)))
+    Spec.all_ops summary.Verif.Campaign.outcomes;
+  Printf.printf "column total: %.2fs verification time, %.2fs wall\n\n"
+    !total_time summary.Verif.Campaign.wall_seconds;
   !total_time
 
 let run_fig8 () =
@@ -167,6 +171,74 @@ let run_fig8 () =
          approach-2 column = %.2f ms (speedup %.1fx)\n\n"
         (1000.0 *. a1) (1000.0 *. best) (a1 /. best)
   | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign: sequential vs pooled, recorded as a trajectory   *)
+
+let append_campaign_record record =
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_campaign.json"
+  in
+  output_string oc record;
+  output_char oc '\n';
+  close_out oc
+
+let run_campaign_bench () =
+  print_endline "=========================================================";
+  Printf.printf
+    "Parallel campaign -- Fig. 8-style rows, 1 worker vs %d workers\n" !jobs;
+  print_endline "=========================================================";
+  let plan =
+    {
+      Harness.default_plan with
+      Harness.ops = Spec.all_ops;
+      approaches = [ 2 ];
+      cases_per_op = 40 * !scale;
+      bound = Some 2000;
+      fault_rate = 0.03;
+      seed = 13;
+    }
+  in
+  let sequential = Harness.run_campaign ~workers:1 plan in
+  let pooled = Harness.run_campaign ~workers:!jobs plan in
+  let verdicts_identical =
+    Verif.Campaign.verdicts sequential = Verif.Campaign.verdicts pooled
+  in
+  let jsonl_identical =
+    String.equal
+      (Verif.Campaign.to_jsonl sequential)
+      (Verif.Campaign.to_jsonl pooled)
+  in
+  let speedup =
+    if pooled.Verif.Campaign.wall_seconds > 0.0 then
+      sequential.Verif.Campaign.wall_seconds
+      /. pooled.Verif.Campaign.wall_seconds
+    else 0.0
+  in
+  Printf.printf
+    "%d ops x %d cases: %.2fs sequential, %.2fs on %d workers (speedup \
+     %.2fx)\n"
+    (List.length plan.Harness.ops)
+    plan.Harness.cases_per_op sequential.Verif.Campaign.wall_seconds
+    pooled.Verif.Campaign.wall_seconds pooled.Verif.Campaign.workers speedup;
+  Printf.printf "verdict vectors identical: %b, merged JSONL identical: %b\n"
+    verdicts_identical jsonl_identical;
+  let module Json = Sctc.Trace.Json in
+  append_campaign_record
+    (Json.obj
+       [
+         ("unix_time", Json.int (int_of_float (Unix.time ())));
+         ("scale", Json.int !scale);
+         ("jobs", Json.int pooled.Verif.Campaign.workers);
+         ("ops", Json.int (List.length plan.Harness.ops));
+         ("cases_per_op", Json.int plan.Harness.cases_per_op);
+         ("seq_seconds", Json.float sequential.Verif.Campaign.wall_seconds);
+         ("par_seconds", Json.float pooled.Verif.Campaign.wall_seconds);
+         ("speedup", Json.float speedup);
+         ("verdicts_identical", Json.bool verdicts_identical);
+         ("jsonl_identical", Json.bool jsonl_identical);
+       ]);
+  Printf.printf "recorded in BENCH_campaign.json\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -374,6 +446,9 @@ let () =
     | "--no-micro" :: rest ->
       run_micro := false;
       parse rest
+    | "--jobs" :: value :: rest ->
+      jobs := max 1 (int_of_string value);
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
@@ -382,11 +457,13 @@ let () =
   (match !table with
   | "fig7" -> run_fig7 ()
   | "fig8" -> run_fig8 ()
+  | "campaign" -> run_campaign_bench ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro_suite ()
   | _ ->
     run_fig7 ();
     run_fig8 ();
+    run_campaign_bench ();
     run_ablation ();
     if !run_micro then run_micro_suite ());
   print_endline "done."

@@ -165,7 +165,7 @@ let prop_conv =
   Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
 
 let cmd_verify =
-  let action path approach property props budget flag trace_file =
+  let action path approach properties props budget flag trace_file jobs =
     let info = load path in
     let backend =
       match approach with
@@ -176,56 +176,76 @@ let cmd_verify =
         Printf.eprintf "unknown approach %d (use 0, 1 or 2)\n" n;
         exit 2
     in
-    let trace =
-      match trace_file with
-      | None -> Verif.Trace.null
-      | Some out ->
-        let bus = Verif.Trace.create () in
-        (try Verif.Trace.attach bus (Verif.Trace.jsonl_file out)
-         with Sys_error msg ->
-           Printf.eprintf "--trace: %s\n" msg;
-           exit 2);
-        bus
-    in
-    let config =
-      {
-        Verif.Session.default_config with
-        Verif.Session.session_name = "cli";
-        properties = [ ("property", property) ];
-        propositions = props;
-        bound = Some budget;
-        flag;
-        trace;
-      }
-    in
-    let session =
-      try Verif.Session.create ~info config backend
-      with exn ->
-        Printf.eprintf "tcheck verify: %s\n" (Printexc.to_string exn);
+    (* each property is one campaign job: an independent session over the
+       same program, fanned out over the worker pool *)
+    let named =
+      match properties with
+      | [] ->
+        Printf.eprintf "at least one --property is required\n";
         exit 2
+      | [ property ] -> [ ("property", property) ]
+      | properties ->
+        List.mapi
+          (fun i property -> (Printf.sprintf "property%d" (i + 1), property))
+          properties
     in
-    Verif.Session.run session;
-    let result = Verif.Session.result session in
-    Verif.Session.close session;
+    let job_of (name, text) =
+      Verif.Campaign.job ~label:name (fun trace ->
+          let config =
+            {
+              Verif.Session.default_config with
+              Verif.Session.session_name = "cli";
+              properties = [ (name, text) ];
+              propositions = props;
+              bound = Some budget;
+              flag;
+              trace;
+            }
+          in
+          let session = Verif.Session.create ~info config backend in
+          Verif.Session.run session;
+          Verif.Session.result session)
+    in
+    let summary =
+      Verif.Campaign.run ~workers:jobs (List.map job_of named)
+    in
+    (match trace_file with
+    | None -> ()
+    | Some out -> (
+      try Verif.Campaign.write_jsonl out summary
+      with Sys_error msg ->
+        Printf.eprintf "--trace: %s\n" msg;
+        exit 2));
     List.iter
-      (fun p ->
-        Printf.printf "%-20s %s%s\n" p.Verif.Result.property
-          (Verdict.to_string p.Verif.Result.verdict)
-          (match p.Verif.Result.first_final_at with
-          | Some tu -> Printf.sprintf "  (final at %d)" tu
-          | None -> ""))
-      result.Verif.Result.properties;
-    match Verif.Result.overall result with
-    | Verdict.False -> 1
-    | Verdict.True | Verdict.Pending -> 0
+      (fun outcome ->
+        match outcome.Verif.Campaign.result with
+        | Error msg ->
+          Printf.eprintf "tcheck verify: %s: %s\n"
+            outcome.Verif.Campaign.label msg
+        | Ok result ->
+          List.iter
+            (fun p ->
+              Printf.printf "%-20s %s%s\n" p.Verif.Result.property
+                (Verdict.to_string p.Verif.Result.verdict)
+                (match p.Verif.Result.first_final_at with
+                | Some tu -> Printf.sprintf "  (final at %d)" tu
+                | None -> ""))
+            result.Verif.Result.properties)
+      summary.Verif.Campaign.outcomes;
+    if Verif.Campaign.errors summary <> [] then 2
+    else
+      match Verif.Campaign.overall summary with
+      | Verdict.False -> 1
+      | Verdict.True | Verdict.Pending -> 0
   in
   let approach =
     Arg.(value & opt int 2 & info [ "approach" ]
            ~doc:"0 = reference interpreter, 1 = microprocessor model, 2 = derived SystemC model")
   in
   let property =
-    Arg.(required & opt (some string) None & info [ "property" ] ~docv:"FLTL"
-           ~doc:"FLTL property over the declared propositions")
+    Arg.(value & opt_all string [] & info [ "property" ] ~docv:"FLTL"
+           ~doc:"FLTL property over the declared propositions (repeatable; \
+                 each property becomes one campaign job)")
   in
   let props =
     Arg.(value & opt_all prop_conv [] & info [ "prop" ] ~docv:"NAME=EXPR"
@@ -242,13 +262,19 @@ let cmd_verify =
   let trace_file =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
            ~doc:"Write the structured verification trace (triggers, samples, \
-                 verdict changes, handshake) as JSONL to this file")
+                 verdict changes, handshake) as JSONL to this file; with \
+                 --jobs the per-job traces are merged in job order")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Fan the property jobs out over N domains (default 1); \
+                 verdicts and trace output are identical for any N")
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
     Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag
-          $ trace_file)
+          $ trace_file $ jobs)
 
 let cmd_bmc =
   let action path unwind timeout =
@@ -307,50 +333,81 @@ let cmd_absref =
     Term.(const action $ file_arg $ timeout)
 
 let cmd_eee =
-  let action approach op_name cases bound fault_rate =
-    let op =
+  let action approach op_names cases bound fault_rate jobs seed trace_file =
+    let find_op name =
       match
         List.find_opt
           (fun op ->
             String.lowercase_ascii (Eee.Eee_spec.op_name op)
-            = String.lowercase_ascii op_name)
+            = String.lowercase_ascii name)
           Eee.Eee_spec.all_ops
       with
       | Some op -> op
       | None ->
-        Printf.eprintf "unknown operation %s\n" op_name;
+        Printf.eprintf "unknown operation %s\n" name;
         exit 2
     in
-    let session =
-      match approach with
-      | 1 -> Eee.Harness.approach1 ~fault_rate ()
-      | 2 -> Eee.Harness.approach2 ~fault_rate ()
-      | n ->
-        Printf.eprintf "unknown approach %d\n" n;
-        exit 2
+    let ops =
+      match op_names with
+      | [] -> [ Eee.Eee_spec.Read ]
+      | [ "all" ] -> Eee.Eee_spec.all_ops
+      | names -> List.map find_op names
     in
-    Eee.Driver.install_spec ~bound session [ op ];
-    let config =
-      { Eee.Driver.default_config with test_cases = cases; bound }
+    if approach <> 1 && approach <> 2 then begin
+      Printf.eprintf "unknown approach %d\n" approach;
+      exit 2
+    end;
+    let plan =
+      {
+        Eee.Harness.default_plan with
+        Eee.Harness.ops;
+        approaches = [ approach ];
+        cases_per_op = cases;
+        bound;
+        fault_rate;
+        seed;
+      }
     in
-    let outcome = Eee.Driver.run_campaign session config op in
-    Format.printf "%a@." Verif.Result.pp outcome;
-    Format.printf "observed returns: %s@."
-      (String.concat ", "
-         (match outcome.Verif.Result.coverage with
-         | Some coverage -> Sctc.Coverage.observed coverage
-         | None -> []));
-    0
+    let summary = Eee.Harness.run_campaign ~workers:jobs plan in
+    (match trace_file with
+    | None -> ()
+    | Some out -> (
+      try Verif.Campaign.write_jsonl out summary
+      with Sys_error msg ->
+        Printf.eprintf "--trace: %s\n" msg;
+        exit 2));
+    List.iter
+      (fun outcome ->
+        Format.printf "--- %s ---@." outcome.Verif.Campaign.label;
+        match outcome.Verif.Campaign.result with
+        | Error msg -> Format.printf "job failed: %s@." msg
+        | Ok result ->
+          Format.printf "%a@." Verif.Result.pp result;
+          Format.printf "observed returns: %s@."
+            (String.concat ", "
+               (match result.Verif.Result.coverage with
+               | Some coverage -> Sctc.Coverage.observed coverage
+               | None -> [])))
+      summary.Verif.Campaign.outcomes;
+    if List.length summary.Verif.Campaign.outcomes > 1 then
+      Format.printf
+        "campaign: %d jobs on %d workers, %.2fs wall (%.2fs of per-job \
+         verification time)@."
+        (List.length summary.Verif.Campaign.outcomes)
+        summary.Verif.Campaign.workers summary.Verif.Campaign.wall_seconds
+        (Verif.Campaign.vt_seconds_sum summary);
+    if Verif.Campaign.errors summary <> [] then 2 else 0
   in
   let approach =
     Arg.(value & opt int 2 & info [ "approach" ] ~doc:"1 or 2")
   in
   let op =
-    Arg.(value & opt string "read" & info [ "op" ]
-           ~doc:"read|write|startup1|startup2|format|prepare|refresh")
+    Arg.(value & opt_all string [] & info [ "op" ]
+           ~doc:"read|write|startup1|startup2|format|prepare|refresh, \
+                 repeatable; \"all\" runs every operation (default read)")
   in
   let cases =
-    Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Test cases")
+    Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Test cases per operation")
   in
   let bound =
     Arg.(value & opt (some int) None & info [ "bound" ]
@@ -360,9 +417,22 @@ let cmd_eee =
     Arg.(value & opt float 0.02 & info [ "fault-rate" ]
            ~doc:"Flash fault-injection probability")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Fan the per-operation campaigns out over N domains \
+                 (default 1); results are identical for any N")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Campaign master seed")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+           ~doc:"Write the merged campaign trace as JSONL to this file")
+  in
   Cmd.v
     (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
-    Term.(const action $ approach $ op $ cases $ bound $ fault_rate)
+    Term.(const action $ approach $ op $ cases $ bound $ fault_rate $ jobs
+          $ seed $ trace_file)
 
 let () =
   let doc = "temporal verification of automotive embedded software" in

@@ -50,3 +50,72 @@ let approach2 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_statements = 60)
   (* let the model run its initialization *)
   Session.boot session;
   session
+
+(* --- parallel campaigns -------------------------------------------------- *)
+
+type plan = {
+  ops : Eee_spec.op list;
+  approaches : int list;
+  cases_per_op : int;
+  bound : int option;
+  engine : Sctc.Checker.engine;
+  fault_rate : float;
+  watchdog_chunks : int;
+  seed : int;
+}
+
+let default_plan =
+  {
+    ops = Eee_spec.all_ops;
+    approaches = [ 2 ];
+    cases_per_op = 50;
+    bound = None;
+    engine = Sctc.Checker.On_the_fly;
+    fault_rate = 0.02;
+    watchdog_chunks = 200;
+    seed = 7;
+  }
+
+let campaign_jobs plan =
+  (* the memoized program forms are lazy: force them here, on the calling
+     domain, so campaign workers never race to force them *)
+  if List.mem 1 plan.approaches then ignore (Eee_program.compile ());
+  if List.mem 2 plan.approaches then ignore (Eee_program.derive ());
+  List.concat_map
+    (fun approach -> List.map (fun op -> (approach, op)) plan.ops)
+    plan.approaches
+  |> List.mapi (fun index (approach, op) ->
+         (* per-job stimulus: two ints off stream [index] of the campaign
+            seed — identical for every worker count (see Prng) *)
+         let stream = Stimuli.Prng.of_seed_index ~seed:plan.seed ~index in
+         let session_seed = Stimuli.Prng.bits stream in
+         let driver_seed = Stimuli.Prng.bits stream in
+         let label =
+           Printf.sprintf "a%d/%s" approach (Eee_spec.op_name op)
+         in
+         Verif.Campaign.job ~label (fun trace ->
+             let session =
+               match approach with
+               | 1 ->
+                 approach1 ~fault_rate:plan.fault_rate ~seed:session_seed
+                   ~trace ()
+               | 2 ->
+                 approach2 ~fault_rate:plan.fault_rate ~seed:session_seed
+                   ~trace ()
+               | n -> invalid_arg (Printf.sprintf "unknown approach %d" n)
+             in
+             Driver.install_spec ~bound:plan.bound ~engine:plan.engine
+               session [ op ];
+             let config =
+               {
+                 Driver.test_cases = plan.cases_per_op;
+                 watchdog_chunks = plan.watchdog_chunks;
+                 bound = plan.bound;
+                 engine = plan.engine;
+                 seed = driver_seed;
+               }
+             in
+             Driver.run_campaign session config op))
+
+let run_campaign ?workers plan =
+  Verif.Campaign.run ?workers (campaign_jobs plan)

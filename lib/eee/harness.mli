@@ -33,3 +33,34 @@ val approach2 :
     flash window and mailbox into the virtual memory model, attach the
     checker to the program-counter event, and start the model thread.
     [chunk_statements] defaults to 60. *)
+
+(** {2 Parallel campaigns}
+
+    A Fig. 8-style campaign — approaches x operations, each an
+    independent constrained-random run — expressed as {!Verif.Campaign}
+    jobs. Each job builds its own booted session with stimulus derived
+    from {!Stimuli.Prng.of_seed_index} of the plan seed and the job
+    index, so campaign results are reproducible for any worker count. *)
+
+type plan = {
+  ops : Eee_spec.op list;
+  approaches : int list;  (** subset of [[1; 2]] *)
+  cases_per_op : int;
+  bound : int option;  (** response-property time bound *)
+  engine : Sctc.Checker.engine;
+  fault_rate : float;  (** flash fault-injection probability *)
+  watchdog_chunks : int;
+  seed : int;  (** campaign master seed *)
+}
+
+val default_plan : plan
+(** All seven operations on approach 2, 50 cases each, no bound,
+    on-the-fly engine, fault rate 0.02, watchdog 200, seed 7. *)
+
+val campaign_jobs : plan -> Verif.Campaign.job list
+(** One job per approach x operation, in plan order. Forces the memoized
+    compiled/derived program forms on the calling domain first, so
+    workers never race to force them. *)
+
+val run_campaign : ?workers:int -> plan -> Verif.Campaign.summary
+(** {!Verif.Campaign.run} over {!campaign_jobs}. *)

@@ -1,0 +1,128 @@
+type job = { label : string; run : Trace.t -> Result.t }
+
+type outcome = {
+  index : int;
+  label : string;
+  result : (Result.t, string) result;
+  events : Trace.event list;
+}
+
+type summary = {
+  outcomes : outcome list;
+  workers : int;
+  wall_seconds : float;
+}
+
+let job ~label run = { label; run }
+
+(* One job, on whatever domain runs it: a private bus buffering events in
+   memory, the job's exceptions confined to its outcome. *)
+let execute index job =
+  let bus = Trace.create () in
+  let sink, buffered = Trace.memory_sink () in
+  Trace.attach bus sink;
+  let result =
+    match job.run bus with
+    | result -> Ok result
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  Trace.close bus;
+  { index; label = job.label; result; events = buffered () }
+
+let run ?(workers = 1) jobs =
+  let started = Unix.gettimeofday () in
+  let jobs = Array.of_list jobs in
+  let count = Array.length jobs in
+  let pool = max 1 (min workers count) in
+  let slots = Array.make count None in
+  (* Each slot is written by exactly one worker (the one that took the
+     index off the queue) and read only after every domain joined. *)
+  if pool = 1 then
+    Array.iteri (fun index job -> slots.(index) <- Some (execute index job)) jobs
+  else begin
+    let lock = Mutex.create () in
+    let next = ref 0 in
+    let take () =
+      Mutex.lock lock;
+      let index = !next in
+      if index < count then incr next;
+      Mutex.unlock lock;
+      if index < count then Some index else None
+    in
+    let rec drain () =
+      match take () with
+      | None -> ()
+      | Some index ->
+        slots.(index) <- Some (execute index jobs.(index));
+        drain ()
+    in
+    let spawned = List.init (pool - 1) (fun _ -> Domain.spawn drain) in
+    drain ();
+    List.iter Domain.join spawned
+  end;
+  let outcomes =
+    Array.to_list slots
+    |> List.map (function Some outcome -> outcome | None -> assert false)
+  in
+  { outcomes; workers = pool; wall_seconds = Unix.gettimeofday () -. started }
+
+(* --- deterministic merge, always in job order --------------------------- *)
+
+let results summary =
+  List.filter_map
+    (fun o -> match o.result with Ok r -> Some r | Error _ -> None)
+    summary.outcomes
+
+let errors summary =
+  List.filter_map
+    (fun o ->
+      match o.result with Error e -> Some (o.label, e) | Ok _ -> None)
+    summary.outcomes
+
+let events summary =
+  summary.outcomes
+  |> List.concat_map (fun o -> o.events)
+  |> List.mapi (fun seq event -> { event with Trace.seq })
+
+let to_jsonl summary =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun event ->
+      Buffer.add_string buffer (Trace.event_to_json event);
+      Buffer.add_char buffer '\n')
+    (events summary);
+  Buffer.contents buffer
+
+let write_jsonl path summary =
+  let oc = open_out_bin path in
+  output_string oc (to_jsonl summary);
+  close_out oc
+
+let verdicts summary =
+  List.concat_map
+    (fun o ->
+      match o.result with
+      | Error _ -> []
+      | Ok r ->
+        List.map
+          (fun p -> (o.label, p.Result.property, p.Result.verdict))
+          r.Result.properties)
+    summary.outcomes
+
+let overall summary =
+  List.fold_left
+    (fun acc r -> Verdict.combine acc (Result.overall r))
+    Verdict.True (results summary)
+
+let sum_over field summary =
+  List.fold_left (fun acc r -> acc + field r) 0 (results summary)
+
+let total_triggers = sum_over (fun r -> r.Result.triggers)
+let total_time_units = sum_over (fun r -> r.Result.time_units)
+let total_test_cases = sum_over Result.completed_cases
+let total_timeouts = sum_over (fun r -> r.Result.timeouts)
+
+let vt_seconds_sum summary =
+  List.fold_left
+    (fun acc r -> acc +. r.Result.vt_seconds)
+    0.0 (results summary)

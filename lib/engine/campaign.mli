@@ -1,0 +1,83 @@
+(** Parallel verification campaigns on a domain pool.
+
+    The paper's evaluation is embarrassingly parallel: up to a million
+    independent monitored simulations per property, whose verdicts are
+    merged afterwards. A campaign is a list of {!job}s — each one an
+    independent verification run (property x stimulus seed x approach)
+    producing a {!Result.t} — fanned out over a fixed pool of
+    [Domain.spawn] workers pulling from a mutex-protected queue.
+
+    Determinism contract: the merge is ordered by job index, never by
+    completion order, and every job gets a private in-memory trace bus
+    whose buffered events are concatenated in job order — so verdict
+    vectors, merged counters and JSONL trace output are byte-identical
+    for 1 worker and N workers. Jobs must not share mutable state: a job
+    builds its own session inside [run] and derives its stimulus from
+    {!Stimuli.Prng.of_seed_index}, not from a shared generator. *)
+
+type job = {
+  label : string;  (** shown in reports and error messages *)
+  run : Trace.t -> Result.t;
+      (** executes the whole job against a fresh, private trace bus; the
+          campaign owns the bus (the job must not [Trace.close] it) *)
+}
+
+type outcome = {
+  index : int;  (** position in the submitted job list *)
+  label : string;
+  result : (Result.t, string) result;
+      (** [Error] carries the printed exception of a crashed job; a crash
+          is confined to its job and never poisons the pool *)
+  events : Trace.event list;  (** the job's trace, job-local [seq] *)
+}
+
+type summary = {
+  outcomes : outcome list;  (** ascending job index *)
+  workers : int;  (** effective pool size *)
+  wall_seconds : float;  (** wall clock of the whole campaign *)
+}
+
+val job : label:string -> (Trace.t -> Result.t) -> job
+
+val run : ?workers:int -> job list -> summary
+(** Execute the campaign on [workers] domains (default 1; clamped to the
+    number of jobs). [workers = 1] runs inline on the calling domain; for
+    [workers = N] the calling domain participates alongside [N - 1]
+    spawned domains. Job exceptions are caught per job. *)
+
+(** {2 Deterministic merge} *)
+
+val results : summary -> Result.t list
+(** Successful results, in job order. *)
+
+val errors : summary -> (string * string) list
+(** [(label, exception text)] of crashed jobs, in job order. *)
+
+val events : summary -> Trace.event list
+(** All trace events, concatenated in job order and renumbered with a
+    campaign-global [seq] starting at 0. *)
+
+val to_jsonl : summary -> string
+(** {!events} rendered one JSON object per line — byte-identical for any
+    worker count. *)
+
+val write_jsonl : string -> summary -> unit
+(** {!to_jsonl} into a file (truncates). *)
+
+val verdicts : summary -> (string * string * Verdict.t) list
+(** [(job label, property, verdict)] across all successful jobs, job
+    order then registration order. *)
+
+val overall : summary -> Verdict.t
+(** {!Verdict.combine} over every property of every successful result. *)
+
+(** {2 Merged counters} *)
+
+val total_triggers : summary -> int
+val total_time_units : summary -> int
+val total_test_cases : summary -> int
+val total_timeouts : summary -> int
+
+val vt_seconds_sum : summary -> float
+(** Sum of per-job verification times — the sequential-equivalent cost;
+    compare with [wall_seconds] for the pool's speedup. *)

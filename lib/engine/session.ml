@@ -221,7 +221,19 @@ let run ?bound session =
   in
   (match session.runtime with
   | Ref r -> run_reference session r
-  | Soc s -> Platform.Soc.run ~max_cycles:budget s.soc
+  | Soc s ->
+    (* the SoC clock keeps ticking (and triggering the checker) after the
+       CPU halts, so consume the budget in chunks and stop on halt *)
+    let start = Platform.Soc.cycles s.soc in
+    let rec go () =
+      let used = Platform.Soc.cycles s.soc - start in
+      if (not (Platform.Soc.cpu_stopped s.soc)) && used < budget then begin
+        Platform.Soc.run ~max_cycles:(min session.config.chunk (budget - used))
+          s.soc;
+        go ()
+      end
+    in
+    go ()
   | Model m ->
     Sim.Kernel.run ~max_time:(Sim.Kernel.now m.kernel + budget) m.kernel);
   check_crash session

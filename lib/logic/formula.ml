@@ -50,18 +50,30 @@ let key_of_node node =
   | Release (b, f, g) ->
     { k_tag = 10; k_bound = bnd b; k_left = f.id; k_right = g.id; k_name = "" }
 
+(* The cons table is process-global so term ids — and with them [equal],
+   [compare] and every monitor's state space — are consistent across
+   domains; parallel campaign workers each run their own checkers but all
+   cons through this table, so it is guarded by a mutex. The critical
+   section is a single hash lookup/insert; everything reachable from a
+   consed term is immutable, so terms can be shared freely afterwards. *)
 let cons_table : (key, t) Hashtbl.t = Hashtbl.create 1024
 let next_id = ref 0
+let cons_lock = Mutex.create ()
 
 let cons node =
   let key = key_of_node node in
-  match Hashtbl.find_opt cons_table key with
-  | Some term -> term
-  | None ->
-    let term = { id = !next_id; node } in
-    incr next_id;
-    Hashtbl.replace cons_table key term;
-    term
+  Mutex.lock cons_lock;
+  let term =
+    match Hashtbl.find_opt cons_table key with
+    | Some term -> term
+    | None ->
+      let term = { id = !next_id; node } in
+      incr next_id;
+      Hashtbl.replace cons_table key term;
+      term
+  in
+  Mutex.unlock cons_lock;
+  term
 
 let tru = cons True
 let fls = cons False

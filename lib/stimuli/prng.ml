@@ -17,6 +17,18 @@ let next_int64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix g.state
 
+(* Independent stream [index] of a campaign seed. The salt multiplies the
+   (shifted) index by the odd golden gamma — a bijection on 64-bit words —
+   and mixes, so distinct (seed, index) pairs map to distinct states and
+   the mapping is a pure function of its arguments: the same pair is
+   bit-reproducible across runs, processes and worker counts. *)
+let of_seed_index ~seed ~index =
+  let base = mix (Int64.of_int seed) in
+  let salt =
+    mix (Int64.mul (Int64.add (Int64.of_int index) 1L) golden_gamma)
+  in
+  { state = mix (Int64.logxor base salt) }
+
 (* FNV-1a over the name, folded into the stream state *)
 let split g name =
   let hash = ref 0xCBF29CE484222325L in

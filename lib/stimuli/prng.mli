@@ -16,6 +16,13 @@ val split : t -> string -> t
     every stimulus source its own stream so adding one source does not
     shift the values of others. *)
 
+val of_seed_index : seed:int -> index:int -> t
+(** The seed-splitting contract of parallel campaigns: stream [index] of
+    campaign [seed]. The same (seed, index) pair is bit-reproducible
+    across runs, and distinct indices yield independent streams — so a
+    campaign's per-job stimulus is identical no matter how many workers
+    execute it, or in which order. *)
+
 val next_int64 : t -> int64
 
 val bits : t -> int

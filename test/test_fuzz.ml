@@ -249,6 +249,117 @@ let qcheck_normalize_preserves =
         | None, None -> true
         | _ -> false))
 
+(* ---- full-pipeline differential: approach 1 vs approach 2 -------------- *)
+
+(* The same generated program, monitored for the same generated response
+   property `G (p -> F[k] q)`, must reach the same strongly-finalized
+   verdict whether the checker is clock-triggered on the SoC (approach 1)
+   or statement-triggered on the derived model (approach 2). Globals only
+   change at statement-granularity stores, so the two time scales visit
+   the same sequence of global-state snapshots (with different dwell
+   times); with the F bound scaled to exceed the whole trace on each time
+   scale, the property is stutter-invariant and the verdicts must agree. *)
+
+module Session = Verif.Session
+
+(* bounds scaled per time scale: generated programs execute well under
+   10k statements (loops are counted, depth-bounded), and a statement
+   costs well under 200 SoC cycles *)
+let k_statements = 50_000
+let k_cycles = 200 * k_statements
+let budget_statements = 200_000
+let budget_cycles = 5_000_000
+
+let gen_prop =
+  let open QCheck.Gen in
+  oneofl globals >>= fun v ->
+  oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] >>= fun op ->
+  int_range (-64) 64 >>= fun c -> return (Printf.sprintf "%s %s %d" v op c)
+
+(* shrink by dropping top-level statements of either function body,
+   always preserving the trailing Return *)
+let shrink_program program yield =
+  List.iteri
+    (fun fidx f ->
+      match List.rev f.Ast.f_body with
+      | ret :: rev_body ->
+        QCheck.Shrink.list_spine (List.rev rev_body) (fun body ->
+            let f = { f with Ast.f_body = body @ [ ret ] } in
+            yield
+              {
+                program with
+                Ast.funcs =
+                  List.mapi
+                    (fun i g -> if i = fidx then f else g)
+                    program.Ast.funcs;
+              })
+      | [] -> ())
+    program.Ast.funcs
+
+let arbitrary_monitored_program =
+  QCheck.make
+    ~print:(fun (program, p, q) ->
+      Printf.sprintf "p := %s\nq := %s\n%s" p q
+        (Minic.Pretty.program_to_string program))
+    ~shrink:(fun (program, p, q) yield ->
+      shrink_program program (fun program -> yield (program, p, q)))
+    QCheck.Gen.(triple gen_program gen_prop gen_prop)
+
+let interp_finishes info =
+  let env = Minic.Interp.create info in
+  match
+    Minic.Interp.run ~fuel:10_000 env
+      (Minic.Interp.default_hooks ())
+      ~entry:"main"
+  with
+  | Minic.Interp.Finished _ -> true
+  | _ -> false
+
+(* run one approach to completion and strongly finalize; None when the
+   software did not halt in budget or crashed (case is then discarded) *)
+let final_verdict ~backend ~bound ~k info (p, q) =
+  let config =
+    {
+      Session.default_config with
+      Session.session_name =
+        (match backend with
+        | Session.Soc_model -> "fuzz-approach1"
+        | _ -> "fuzz-approach2");
+      propositions = [ ("fp", p); ("fq", q) ];
+      properties = [ ("resp", Printf.sprintf "G (fp -> F[%d] fq)" k) ];
+      bound = Some bound;
+    }
+  in
+  let session = Session.create ~info config backend in
+  Session.boot session;
+  Session.run session;
+  if Session.alive session || Session.crashed session <> None then None
+  else
+    match Sctc.Checker.finalize ~strong:true (Session.checker session) with
+    | [ (_, v) ] -> Some v
+    | _ -> None
+
+let qcheck_approach1_equals_approach2 =
+  QCheck.Test.make
+    ~name:"approach 1 == approach 2 verdict of G (p -> F[k] q)" ~count:100
+    arbitrary_monitored_program (fun (program, p, q) ->
+      match Minic.Typecheck.check_result program with
+      | Error msg -> QCheck.Test.fail_reportf "generator bug: %s" msg
+      | Ok info ->
+        if not (interp_finishes info) then true
+        else (
+          match
+            ( final_verdict ~backend:Session.Soc_model ~bound:budget_cycles
+                ~k:k_cycles info (p, q),
+              final_verdict ~backend:Session.Derived_model
+                ~bound:budget_statements ~k:k_statements info (p, q) )
+          with
+          | Some v1, Some v2 ->
+            Verdict.equal v1 v2
+            || QCheck.Test.fail_reportf "approach 1: %s, approach 2: %s"
+                 (Verdict.to_string v1) (Verdict.to_string v2)
+          | _ -> true))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -257,5 +368,6 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_compiled_equals_interpreted;
           QCheck_alcotest.to_alcotest qcheck_program_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_normalize_preserves;
+          QCheck_alcotest.to_alcotest qcheck_approach1_equals_approach2;
         ] );
     ]
