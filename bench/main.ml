@@ -28,6 +28,7 @@ let fig7_timeout = ref 5.0
 let table = ref "all"
 let run_micro = ref true
 let jobs = ref 4
+let ci_mode = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: BLAST-analog and CBMC-analog on the case-study properties   *)
@@ -183,24 +184,23 @@ let append_campaign_record record =
   output_char oc '\n';
   close_out oc
 
-let run_campaign_bench () =
-  print_endline "=========================================================";
-  Printf.printf
-    "Parallel campaign -- Fig. 8-style rows, 1 worker vs %d workers\n" !jobs;
-  print_endline "=========================================================";
-  let plan =
-    {
-      Harness.default_plan with
-      Harness.ops = Spec.all_ops;
-      approaches = [ 2 ];
-      cases_per_op = 40 * !scale;
-      bound = Some 2000;
-      fault_rate = 0.03;
-      seed = 13;
-    }
-  in
-  let sequential = Harness.run_campaign ~workers:1 plan in
-  let pooled = Harness.run_campaign ~workers:!jobs plan in
+let synth_seconds_sum summary =
+  List.fold_left
+    (fun acc r -> acc +. r.Verif.Result.synthesis_seconds)
+    0.0
+    (Verif.Campaign.results summary)
+
+(* One pooled run of [plan] against the recorded sequential baseline:
+   wall clock, per-stage times (AR synthesis vs whole-job verification),
+   identity checks, and the contention counters of this run (job-queue
+   acquisitions from the summary; cons-table counters as deltas of the
+   process-wide totals). Returns [(ok_for_ci, record)]. *)
+let campaign_round ~plan ~sequential ~cores jobs_n =
+  let cons_before = Formula.cons_stats () in
+  let cache_before = Ar_automaton.cache_stats () in
+  let pooled = Harness.run_campaign ~workers:jobs_n plan in
+  let cons_after = Formula.cons_stats () in
+  let cache_after = Ar_automaton.cache_stats () in
   let verdicts_identical =
     Verif.Campaign.verdicts sequential = Verif.Campaign.verdicts pooled
   in
@@ -215,14 +215,36 @@ let run_campaign_bench () =
       /. pooled.Verif.Campaign.wall_seconds
     else 0.0
   in
+  let queue = pooled.Verif.Campaign.queue in
   Printf.printf
-    "%d ops x %d cases: %.2fs sequential, %.2fs on %d workers (speedup \
-     %.2fx)\n"
-    (List.length plan.Harness.ops)
-    plan.Harness.cases_per_op sequential.Verif.Campaign.wall_seconds
-    pooled.Verif.Campaign.wall_seconds pooled.Verif.Campaign.workers speedup;
-  Printf.printf "verdict vectors identical: %b, merged JSONL identical: %b\n"
+    "jobs=%d: %.2fs wall (seq %.2fs, speedup %.2fx)  synth %.3fs  vt %.2fs\n"
+    pooled.Verif.Campaign.workers pooled.Verif.Campaign.wall_seconds
+    sequential.Verif.Campaign.wall_seconds speedup
+    (synth_seconds_sum pooled)
+    (Verif.Campaign.vt_seconds_sum pooled);
+  Printf.printf
+    "        queue: chunk %d, %d acquisitions (%d contended)  cons: %d DLS \
+     hits, %d shard acquisitions (%d contended)\n"
+    queue.Verif.Campaign.chunk queue.Verif.Campaign.acquisitions
+    queue.Verif.Campaign.contention
+    (cons_after.Formula.dls_hits - cons_before.Formula.dls_hits)
+    (cons_after.Formula.shard_acquisitions
+    - cons_before.Formula.shard_acquisitions)
+    (cons_after.Formula.shard_contention - cons_before.Formula.shard_contention);
+  Printf.printf "        verdicts identical: %b, merged JSONL identical: %b\n"
     verdicts_identical jsonl_identical;
+  let slowdown = jobs_n > 1 && speedup < 1.0 in
+  if slowdown then begin
+    Printf.printf
+      "*** WARNING: parallel campaign is SLOWER than sequential (%.2fx at \
+       jobs=%d) ***\n"
+      speedup jobs_n;
+    if cores < 2 then
+      Printf.printf
+        "*** (only %d hardware core available: speedup is bounded by 1.0 \
+         here; the identity columns are the gate) ***\n"
+        cores
+  end;
   let module Json = Sctc.Trace.Json in
   append_campaign_record
     (Json.obj
@@ -230,15 +252,75 @@ let run_campaign_bench () =
          ("unix_time", Json.int (int_of_float (Unix.time ())));
          ("scale", Json.int !scale);
          ("jobs", Json.int pooled.Verif.Campaign.workers);
+         ("cores", Json.int cores);
          ("ops", Json.int (List.length plan.Harness.ops));
          ("cases_per_op", Json.int plan.Harness.cases_per_op);
          ("seq_seconds", Json.float sequential.Verif.Campaign.wall_seconds);
          ("par_seconds", Json.float pooled.Verif.Campaign.wall_seconds);
          ("speedup", Json.float speedup);
+         ("synth_seconds", Json.float (synth_seconds_sum pooled));
+         ("vt_seconds", Json.float (Verif.Campaign.vt_seconds_sum pooled));
          ("verdicts_identical", Json.bool verdicts_identical);
          ("jsonl_identical", Json.bool jsonl_identical);
+         ("queue_chunk", Json.int queue.Verif.Campaign.chunk);
+         ("queue_acquisitions", Json.int queue.Verif.Campaign.acquisitions);
+         ("queue_contention", Json.int queue.Verif.Campaign.contention);
+         ( "cons_dls_hits",
+           Json.int (cons_after.Formula.dls_hits - cons_before.Formula.dls_hits)
+         );
+         ( "cons_shard_acquisitions",
+           Json.int
+             (cons_after.Formula.shard_acquisitions
+             - cons_before.Formula.shard_acquisitions) );
+         ( "cons_shard_contention",
+           Json.int
+             (cons_after.Formula.shard_contention
+             - cons_before.Formula.shard_contention) );
+         ( "automaton_cache_hits",
+           Json.int
+             (cache_after.Ar_automaton.cache_hits
+             - cache_before.Ar_automaton.cache_hits) );
+         ( "automaton_cache_misses",
+           Json.int
+             (cache_after.Ar_automaton.cache_misses
+             - cache_before.Ar_automaton.cache_misses) );
        ]);
-  Printf.printf "recorded in BENCH_campaign.json\n\n"
+  let identity_ok = verdicts_identical && jsonl_identical in
+  (* the CI gate: identity must always hold; a slowdown only fails the
+     gate where the hardware could actually have parallelized the pool *)
+  identity_ok && not (slowdown && cores >= 2)
+
+let run_campaign_bench () =
+  let sweep = if !ci_mode then [ !jobs ] else [ 1; 2; 4; 8 ] in
+  print_endline "=========================================================";
+  Printf.printf
+    "Parallel campaign -- Fig. 8-style rows, jobs sweep {%s}%s\n"
+    (String.concat "," (List.map string_of_int sweep))
+    (if !ci_mode then " (CI smoke)" else "");
+  print_endline "=========================================================";
+  let plan =
+    {
+      Harness.default_plan with
+      Harness.ops = Spec.all_ops;
+      approaches = [ 2 ];
+      cases_per_op = 40 * !scale;
+      bound = Some 2000;
+      fault_rate = 0.03;
+      seed = 13;
+    }
+  in
+  let cores = Domain.recommended_domain_count () in
+  let sequential = Harness.run_campaign ~workers:1 plan in
+  Printf.printf "%d ops x %d cases on %d core(s); sequential baseline %.2fs\n"
+    (List.length plan.Harness.ops)
+    plan.Harness.cases_per_op cores sequential.Verif.Campaign.wall_seconds;
+  let ok =
+    List.fold_left
+      (fun ok jobs_n -> campaign_round ~plan ~sequential ~cores jobs_n && ok)
+      true sweep
+  in
+  Printf.printf "recorded in BENCH_campaign.json\n\n";
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -449,21 +531,28 @@ let () =
     | "--jobs" :: value :: rest ->
       jobs := max 1 (int_of_string value);
       parse rest
+    | "--ci" :: rest ->
+      ci_mode := true;
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
   Printf.printf
     "Reproduction harness -- Lettnin et al., DATE 2008 (scale %d)\n\n" !scale;
+  let campaign_ok = ref true in
   (match !table with
   | "fig7" -> run_fig7 ()
   | "fig8" -> run_fig8 ()
-  | "campaign" -> run_campaign_bench ()
+  | "campaign" -> campaign_ok := run_campaign_bench ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro_suite ()
   | _ ->
     run_fig7 ();
     run_fig8 ();
-    run_campaign_bench ();
+    campaign_ok := run_campaign_bench ();
     run_ablation ();
     if !run_micro then run_micro_suite ());
-  print_endline "done."
+  print_endline "done.";
+  (* the CI smoke variant turns a broken determinism contract — or a
+     slowdown the hardware can't excuse — into a failing exit code *)
+  if !ci_mode && not !campaign_ok then exit 1

@@ -165,7 +165,7 @@ let prop_conv =
   Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
 
 let cmd_verify =
-  let action path approach properties props budget flag trace_file jobs =
+  let action path approach properties props budget flag trace_file jobs chunk =
     let info = load path in
     let backend =
       match approach with
@@ -207,7 +207,7 @@ let cmd_verify =
           Verif.Session.result session)
     in
     let summary =
-      Verif.Campaign.run ~workers:jobs (List.map job_of named)
+      Verif.Campaign.run ~workers:jobs ?chunk (List.map job_of named)
     in
     (match trace_file with
     | None -> ()
@@ -270,11 +270,16 @@ let cmd_verify =
            ~doc:"Fan the property jobs out over N domains (default 1); \
                  verdicts and trace output are identical for any N")
   in
+  let chunk =
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
+           ~doc:"Jobs a worker claims per queue acquisition (scheduling \
+                 only; default ~4 claims per worker)")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
     Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag
-          $ trace_file $ jobs)
+          $ trace_file $ jobs $ chunk)
 
 let cmd_bmc =
   let action path unwind timeout =
@@ -333,7 +338,8 @@ let cmd_absref =
     Term.(const action $ file_arg $ timeout)
 
 let cmd_eee =
-  let action approach op_names cases bound fault_rate jobs seed trace_file =
+  let action approach op_names cases bound fault_rate jobs chunk seed
+      trace_file =
     let find_op name =
       match
         List.find_opt
@@ -368,7 +374,7 @@ let cmd_eee =
         seed;
       }
     in
-    let summary = Eee.Harness.run_campaign ~workers:jobs plan in
+    let summary = Eee.Harness.run_campaign ~workers:jobs ?chunk plan in
     (match trace_file with
     | None -> ()
     | Some out -> (
@@ -422,6 +428,11 @@ let cmd_eee =
            ~doc:"Fan the per-operation campaigns out over N domains \
                  (default 1); results are identical for any N")
   in
+  let chunk =
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
+           ~doc:"Jobs a worker claims per queue acquisition (scheduling \
+                 only; default ~4 claims per worker)")
+  in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Campaign master seed")
   in
@@ -432,7 +443,7 @@ let cmd_eee =
   Cmd.v
     (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
     Term.(const action $ approach $ op $ cases $ bound $ fault_rate $ jobs
-          $ seed $ trace_file)
+          $ chunk $ seed $ trace_file)
 
 let () =
   let doc = "temporal verification of automotive embedded software" in

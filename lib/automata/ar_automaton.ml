@@ -80,6 +80,54 @@ let synthesize ?(max_states = 200_000) formula =
     build_seconds = Unix.gettimeofday () -. started;
   }
 
+(* Per-domain memo cache: campaign jobs over the same property re-derive
+   the same automaton once per worker domain, not once per job. The cache
+   key is the formula's hash-cons id (process-globally unique) plus the
+   synthesis bound, since [max_states] decides whether synthesis raises
+   [Too_large]. A synthesized automaton is immutable after construction,
+   so handing the same value to many monitors on the same domain is safe;
+   keeping the cache domain-local means no lock on the lookup path. Only
+   the two-word stats cell outlives a worker domain in the registry. *)
+
+type cache_cell = { mutable hits : int; mutable misses : int }
+
+let cache_registry : cache_cell list ref = ref []
+let cache_registry_lock = Mutex.create ()
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      let cell = { hits = 0; misses = 0 } in
+      Mutex.lock cache_registry_lock;
+      cache_registry := cell :: !cache_registry;
+      Mutex.unlock cache_registry_lock;
+      ((Hashtbl.create 32 : (int * int, t) Hashtbl.t), cell))
+
+let synthesize_memo ?(max_states = 200_000) formula =
+  let table, cell = Domain.DLS.get cache_key in
+  let key = (Formula.hash formula, max_states) in
+  match Hashtbl.find_opt table key with
+  | Some automaton ->
+    cell.hits <- cell.hits + 1;
+    (automaton, false)
+  | None ->
+    let automaton = synthesize ~max_states formula in
+    cell.misses <- cell.misses + 1;
+    Hashtbl.replace table key automaton;
+    (automaton, true)
+
+type cache_stats = { cache_hits : int; cache_misses : int }
+
+let cache_stats () =
+  let hits = ref 0 and misses = ref 0 in
+  Mutex.lock cache_registry_lock;
+  List.iter
+    (fun cell ->
+      hits := !hits + cell.hits;
+      misses := !misses + cell.misses)
+    !cache_registry;
+  Mutex.unlock cache_registry_lock;
+  { cache_hits = !hits; cache_misses = !misses }
+
 let formula a = a.formula
 let props a = a.props
 let num_states a = Array.length a.states

@@ -23,6 +23,21 @@ exception Too_large of int
     (default [max_states] 200000). *)
 val synthesize : ?max_states:int -> Formula.t -> t
 
+(** [synthesize_memo ?max_states formula] is {!synthesize} through a
+    per-domain memo cache keyed by the formula's hash-cons id and the
+    bound: N campaign jobs over the same property on the same worker
+    domain derive the automaton once, without any cross-domain locking.
+    Returns [(automaton, fresh)]; [fresh] is [false] on a cache hit, so
+    callers accounting synthesis time do not double-count
+    {!build_seconds}. Failed synthesis ([Too_large]) is never cached. *)
+val synthesize_memo : ?max_states:int -> Formula.t -> t * bool
+
+type cache_stats = { cache_hits : int; cache_misses : int }
+
+val cache_stats : unit -> cache_stats
+(** Cumulative {!synthesize_memo} hit/miss counts summed over every
+    domain that ever synthesized. *)
+
 val formula : t -> Formula.t
 val props : t -> string array
 (** Proposition order defining assignment bitmasks: bit [i] = value of

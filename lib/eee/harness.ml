@@ -11,15 +11,25 @@ let flash_campaign_config ~fault_rate =
     erase_fail_prob = fault_rate /. 2.0;
   }
 
-let approach1 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_cycles = 60)
+(* same block layout, 20x faster erase/program timing: for tests that
+   need short busy windows without changing what the software sees *)
+let flash_quick_config ~fault_rate =
+  { (flash_campaign_config ~fault_rate) with Flash.erase_ticks = 40; write_ticks = 4 }
+
+let approach1 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_cycles = 60)
     ?(trace = Verif.Trace.null) () =
+  let flash =
+    match flash with
+    | Some config -> config
+    | None -> flash_campaign_config ~fault_rate
+  in
   let config =
     {
       Session.default_config with
       Session.session_name = "eee-approach1";
       seed;
       chunk = chunk_cycles;
-      flash = Some (flash_campaign_config ~fault_rate);
+      flash = Some flash;
       flag = Some "flag";
       trace;
     }
@@ -31,15 +41,20 @@ let approach1 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_cycles = 60)
   Session.boot session;
   session
 
-let approach2 ?(fault_rate = 0.02) ?(seed = 42) ?(chunk_statements = 60)
+let approach2 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_statements = 60)
     ?(trace = Verif.Trace.null) () =
+  let flash =
+    match flash with
+    | Some config -> config
+    | None -> flash_campaign_config ~fault_rate
+  in
   let config =
     {
       Session.default_config with
       Session.session_name = "eee-approach2";
       seed;
       chunk = chunk_statements;
-      flash = Some (flash_campaign_config ~fault_rate);
+      flash = Some flash;
       trace;
     }
   in
@@ -62,6 +77,7 @@ type plan = {
   fault_rate : float;
   watchdog_chunks : int;
   seed : int;
+  flash : Flash.config option;
 }
 
 let default_plan =
@@ -74,6 +90,7 @@ let default_plan =
     fault_rate = 0.02;
     watchdog_chunks = 200;
     seed = 7;
+    flash = None;
   }
 
 let campaign_jobs plan =
@@ -97,11 +114,11 @@ let campaign_jobs plan =
              let session =
                match approach with
                | 1 ->
-                 approach1 ~fault_rate:plan.fault_rate ~seed:session_seed
-                   ~trace ()
+                 approach1 ~fault_rate:plan.fault_rate ?flash:plan.flash
+                   ~seed:session_seed ~trace ()
                | 2 ->
-                 approach2 ~fault_rate:plan.fault_rate ~seed:session_seed
-                   ~trace ()
+                 approach2 ~fault_rate:plan.fault_rate ?flash:plan.flash
+                   ~seed:session_seed ~trace ()
                | n -> invalid_arg (Printf.sprintf "unknown approach %d" n)
              in
              Driver.install_spec ~bound:plan.bound ~engine:plan.engine
@@ -117,5 +134,5 @@ let campaign_jobs plan =
              in
              Driver.run_campaign session config op))
 
-let run_campaign ?workers plan =
-  Verif.Campaign.run ?workers (campaign_jobs plan)
+let run_campaign ?workers ?chunk plan =
+  Verif.Campaign.run ?workers ?chunk (campaign_jobs plan)

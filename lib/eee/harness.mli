@@ -10,8 +10,14 @@ val flash_campaign_config : fault_rate:float -> Dataflash.Flash.config
 (** Campaign flash geometry: 4 x 128 words, slow erase (wide EEE_BUSY
     window), program/erase faults injected at [fault_rate]. *)
 
+val flash_quick_config : fault_rate:float -> Dataflash.Flash.config
+(** Same block layout as {!flash_campaign_config} but with 20x faster
+    erase/program timing, for tests that need short busy windows
+    without changing what the software sees. *)
+
 val approach1 :
   ?fault_rate:float ->
+  ?flash:Dataflash.Flash.config ->
   ?seed:int ->
   ?chunk_cycles:int ->
   ?trace:Verif.Trace.t ->
@@ -24,6 +30,7 @@ val approach1 :
 
 val approach2 :
   ?fault_rate:float ->
+  ?flash:Dataflash.Flash.config ->
   ?seed:int ->
   ?chunk_statements:int ->
   ?trace:Verif.Trace.t ->
@@ -51,6 +58,9 @@ type plan = {
   fault_rate : float;  (** flash fault-injection probability *)
   watchdog_chunks : int;
   seed : int;  (** campaign master seed *)
+  flash : Dataflash.Flash.config option;
+      (** flash geometry/timing override; [None] means
+          {!flash_campaign_config} at [fault_rate] *)
 }
 
 val default_plan : plan
@@ -62,5 +72,7 @@ val campaign_jobs : plan -> Verif.Campaign.job list
     compiled/derived program forms on the calling domain first, so
     workers never race to force them. *)
 
-val run_campaign : ?workers:int -> plan -> Verif.Campaign.summary
-(** {!Verif.Campaign.run} over {!campaign_jobs}. *)
+val run_campaign : ?workers:int -> ?chunk:int -> plan -> Verif.Campaign.summary
+(** {!Verif.Campaign.run} over {!campaign_jobs}; [chunk] is the number
+    of consecutive jobs a worker claims per queue-mutex acquisition
+    (scheduling only — results are identical for any value). *)

@@ -31,19 +31,29 @@ type outcome = {
   events : Trace.event list;  (** the job's trace, job-local [seq] *)
 }
 
+type queue_stats = {
+  chunk : int;  (** chunk size used for claiming job indices *)
+  acquisitions : int;  (** queue-mutex acquisitions across all workers *)
+  contention : int;  (** acquisitions that found the queue locked *)
+}
+
 type summary = {
   outcomes : outcome list;  (** ascending job index *)
   workers : int;  (** effective pool size *)
   wall_seconds : float;  (** wall clock of the whole campaign *)
+  queue : queue_stats;  (** zero acquisitions for the inline 1-worker path *)
 }
 
 val job : label:string -> (Trace.t -> Result.t) -> job
 
-val run : ?workers:int -> job list -> summary
+val run : ?workers:int -> ?chunk:int -> job list -> summary
 (** Execute the campaign on [workers] domains (default 1; clamped to the
     number of jobs). [workers = 1] runs inline on the calling domain; for
     [workers = N] the calling domain participates alongside [N - 1]
-    spawned domains. Job exceptions are caught per job. *)
+    spawned domains. Workers claim [chunk] consecutive job indices per
+    queue-mutex acquisition (default: ~4 claims per worker, at least 1);
+    the chunk size affects only scheduling, never the merged output. Job
+    exceptions are caught per job, even mid-chunk. *)
 
 (** {2 Deterministic merge} *)
 

@@ -52,28 +52,113 @@ let key_of_node node =
 
 (* The cons table is process-global so term ids — and with them [equal],
    [compare] and every monitor's state space — are consistent across
-   domains; parallel campaign workers each run their own checkers but all
-   cons through this table, so it is guarded by a mutex. The critical
-   section is a single hash lookup/insert; everything reachable from a
-   consed term is immutable, so terms can be shared freely afterwards. *)
-let cons_table : (key, t) Hashtbl.t = Hashtbl.create 1024
-let next_id = ref 0
-let cons_lock = Mutex.create ()
+   domains. A single global mutex made every formula construction in every
+   campaign worker serialize through one lock, so the table is split into
+   [shard_count] shards (key hash -> shard, one mutex each) with ids drawn
+   from one [Atomic.t] counter: ids stay process-globally unique (the
+   canonical id ordering of [smart_nary]/[subsume_bounds] only needs
+   uniqueness and stability, not density), while unrelated constructions
+   touch unrelated locks. In front of the shards sits a domain-local memo
+   cache ([Domain.DLS]): a term a domain has consed before is returned
+   without taking any lock at all, which is the common case once a
+   worker's monitors are warm. The DLS cache stores the globally unique
+   term (the same physical value as the shard table), so pointer equality
+   on [id] — and physical equality itself — keep holding across domains.
+   Everything reachable from a consed term is immutable, so terms can be
+   shared freely afterwards. *)
+
+let shard_count = 16 (* power of two: shard index is a mask of the hash *)
+
+type shard = { lock : Mutex.t; table : (key, t) Hashtbl.t }
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { lock = Mutex.create (); table = Hashtbl.create 256 })
+
+let next_id = Atomic.make 0
+
+(* Contention diagnostics. The shard counters are global atomics: they
+   are only touched on a DLS-cache miss, which is rare at steady state.
+   DLS hit/miss counts live in a per-domain cell (written by exactly one
+   domain, so a plain mutable int), registered once per domain so
+   [cons_stats] can sum over all domains ever spawned — the registry
+   keeps only the two-word cell alive, never the dead domain's table. *)
+let shard_acquisition_count = Atomic.make 0
+let shard_contention_count = Atomic.make 0
+
+type dls_cell = { mutable hits : int; mutable misses : int }
+type dls_cache = { memo : (key, t) Hashtbl.t; cell : dls_cell }
+
+let dls_registry : dls_cell list ref = ref []
+let dls_registry_lock = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let cell = { hits = 0; misses = 0 } in
+      Mutex.lock dls_registry_lock;
+      dls_registry := cell :: !dls_registry;
+      Mutex.unlock dls_registry_lock;
+      { memo = Hashtbl.create 1024; cell })
+
+let shard_of_key key = shards.(Hashtbl.hash key land (shard_count - 1))
+
+let lock_counting shard =
+  if Mutex.try_lock shard.lock then ()
+  else begin
+    Atomic.incr shard_contention_count;
+    Mutex.lock shard.lock
+  end;
+  Atomic.incr shard_acquisition_count
 
 let cons node =
   let key = key_of_node node in
-  Mutex.lock cons_lock;
-  let term =
-    match Hashtbl.find_opt cons_table key with
-    | Some term -> term
-    | None ->
-      let term = { id = !next_id; node } in
-      incr next_id;
-      Hashtbl.replace cons_table key term;
-      term
-  in
-  Mutex.unlock cons_lock;
-  term
+  let cache = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt cache.memo key with
+  | Some term ->
+    cache.cell.hits <- cache.cell.hits + 1;
+    term
+  | None ->
+    cache.cell.misses <- cache.cell.misses + 1;
+    let shard = shard_of_key key in
+    lock_counting shard;
+    let term =
+      match Hashtbl.find_opt shard.table key with
+      | Some term -> term
+      | None ->
+        let term = { id = Atomic.fetch_and_add next_id 1; node } in
+        Hashtbl.replace shard.table key term;
+        term
+    in
+    Mutex.unlock shard.lock;
+    Hashtbl.replace cache.memo key term;
+    term
+
+type cons_stats = {
+  terms : int;
+  dls_hits : int;
+  dls_misses : int;
+  shard_acquisitions : int;
+  shard_contention : int;
+  shards : int;
+}
+
+let cons_stats () =
+  let hits = ref 0 and misses = ref 0 in
+  Mutex.lock dls_registry_lock;
+  List.iter
+    (fun cell ->
+      hits := !hits + cell.hits;
+      misses := !misses + cell.misses)
+    !dls_registry;
+  Mutex.unlock dls_registry_lock;
+  {
+    terms = Atomic.get next_id;
+    dls_hits = !hits;
+    dls_misses = !misses;
+    shard_acquisitions = Atomic.get shard_acquisition_count;
+    shard_contention = Atomic.get shard_contention_count;
+    shards = shard_count;
+  }
 
 let tru = cons True
 let fls = cons False

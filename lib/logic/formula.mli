@@ -72,3 +72,22 @@ val to_string : t -> string
 (** [eval_now f valuation] evaluates a propositional formula.
     @raise Invalid_argument if [f] contains a temporal operator. *)
 val eval_now : t -> (string -> bool) -> bool
+
+(** {2 Concurrency diagnostics}
+
+    The cons table is sharded (one mutex per shard, ids from an atomic
+    counter) and fronted by a per-domain memo cache, so parallel campaign
+    workers construct formulas without serializing through a global lock.
+    These counters are cumulative over the process lifetime and summed
+    over every domain that ever consed a term. *)
+
+type cons_stats = {
+  terms : int;  (** unique hash-consed terms allocated so far *)
+  dls_hits : int;  (** constructions served lock-free by a domain cache *)
+  dls_misses : int;  (** constructions that had to visit a shard *)
+  shard_acquisitions : int;  (** shard-mutex acquisitions *)
+  shard_contention : int;  (** acquisitions that found the shard locked *)
+  shards : int;  (** number of shards *)
+}
+
+val cons_stats : unit -> cons_stats

@@ -29,6 +29,33 @@ let of_seed_index ~seed ~index =
   in
   { state = mix (Int64.logxor base salt) }
 
+(* Pure derivation of substream [index] from a parent stream: the same
+   salting scheme as [of_seed_index], but over the parent's current state
+   instead of a root seed. The parent is only read, never advanced, so
+   many domains may fork substreams off one shared base concurrently —
+   this is the domain-safe way to hand each worker its own stream. *)
+let substream g index =
+  let salt =
+    mix (Int64.mul (Int64.add (Int64.of_int index) 1L) golden_gamma)
+  in
+  { state = mix (Int64.logxor g.state salt) }
+
+(* A per-domain scratch stream (Domain.DLS). Seeded from a process-wide
+   spawn counter, so its values depend on domain spawn order: fine for
+   diagnostics and test-interleaving shuffles, never for stimulus — all
+   stimulus must flow from [of_seed_index]/[substream] so campaigns stay
+   reproducible for any worker count. *)
+module Domain_local = struct
+  let spawn_counter = Atomic.make 0
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        of_seed_index ~seed:0x5EED
+          ~index:(Atomic.fetch_and_add spawn_counter 1))
+
+  let stream () = Domain.DLS.get key
+end
+
 (* FNV-1a over the name, folded into the stream state *)
 let split g name =
   let hash = ref 0xCBF29CE484222325L in

@@ -23,6 +23,22 @@ val of_seed_index : seed:int -> index:int -> t
     campaign's per-job stimulus is identical no matter how many workers
     execute it, or in which order. *)
 
+val substream : t -> int -> t
+(** [substream g index] derives stream [index] from [g]'s current state
+    without advancing [g]: a pure read of the parent, so concurrent
+    domains may fork substreams off one shared base stream — the
+    DLS-safe counterpart of {!split}. [substream (create ~seed) index]
+    equals [of_seed_index ~seed ~index]. *)
+
+(** A scratch stream private to the calling domain, stored in
+    [Domain.DLS]. Its seed depends on domain spawn order, so use it only
+    for diagnostics or test-interleaving shuffles — never for stimulus,
+    which must flow from {!of_seed_index}/{!substream} to stay
+    reproducible across worker counts. *)
+module Domain_local : sig
+  val stream : unit -> t
+end
+
 val next_int64 : t -> int64
 
 val bits : t -> int

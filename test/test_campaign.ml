@@ -153,6 +153,68 @@ let test_merge_order_and_seq () =
       | Error msg -> Alcotest.failf "unparseable line %S: %s" line msg)
     (List.rev !lines)
 
+(* chunked claiming is pure scheduling: any chunk size — one job per
+   acquisition, a few, or more than the whole queue — must leave verdict
+   vectors, merged counters and JSONL byte-identical to jobs=1 *)
+let test_chunked_queue_identity () =
+  let sequential = Campaign.run ~workers:1 (make_jobs ()) in
+  Alcotest.(check int) "sequential path takes no queue lock" 0
+    sequential.Campaign.queue.Campaign.acquisitions;
+  List.iter
+    (fun chunk ->
+      let pooled = Campaign.run ~workers:8 ~chunk (make_jobs ()) in
+      let label suffix = Printf.sprintf "chunk=%d: %s" chunk suffix in
+      Alcotest.(check int) (label "chunk size recorded") chunk
+        pooled.Campaign.queue.Campaign.chunk;
+      Alcotest.(check bool) (label "queue lock taken") true
+        (pooled.Campaign.queue.Campaign.acquisitions > 0);
+      Alcotest.(check (list (triple string string string)))
+        (label "identical verdict vectors")
+        (List.map
+           (fun (job, prop, v) -> (job, prop, Verdict.to_string v))
+           (Campaign.verdicts sequential))
+        (List.map
+           (fun (job, prop, v) -> (job, prop, Verdict.to_string v))
+           (Campaign.verdicts pooled));
+      Alcotest.(check (list int))
+        (label "identical merged counters")
+        (counters sequential) (counters pooled);
+      Alcotest.(check string)
+        (label "byte-identical merged JSONL")
+        (Campaign.to_jsonl sequential) (Campaign.to_jsonl pooled))
+    [ 1; 3; 100 (* larger than the queue *) ]
+
+(* a raise in the middle of a claimed chunk must not take down the rest
+   of the chunk, the worker, or the pool *)
+let test_chunk_crash_is_contained () =
+  let jobs =
+    [
+      session_job ~label:"ok-0" ~backend:Session.Reference
+        ~properties:[ ("eventually_done", "F p_done") ];
+      Campaign.job ~label:"crash-mid-chunk" (fun _trace -> failwith "chunked boom");
+      session_job ~label:"ok-2" ~backend:Session.Reference
+        ~properties:[ ("eventually_done", "F p_done") ];
+      session_job ~label:"ok-3" ~backend:Session.Reference
+        ~properties:[ ("eventually_done", "F p_done") ];
+      Campaign.job ~label:"crash-chunk-end" (fun _trace -> failwith "boom 2");
+      session_job ~label:"ok-5" ~backend:Session.Reference
+        ~properties:[ ("eventually_done", "F p_done") ];
+    ]
+  in
+  let summary = Campaign.run ~workers:2 ~chunk:3 jobs in
+  Alcotest.(check int) "all outcomes present" 6
+    (List.length summary.Campaign.outcomes);
+  Alcotest.(check (list string)) "both crashes surface, in job order"
+    [ "crash-mid-chunk"; "crash-chunk-end" ]
+    (List.map fst (Campaign.errors summary));
+  Alcotest.(check int) "jobs after an in-chunk crash still completed" 4
+    (List.length (Campaign.results summary));
+  List.iter
+    (fun (_, _, v) ->
+      Alcotest.(check bool) "healthy verdicts final" true
+        (Verdict.equal v Verdict.True))
+    (Campaign.verdicts summary)
+
 let test_worker_crash_is_contained () =
   let jobs =
     [
@@ -256,6 +318,10 @@ let () =
             test_merge_order_and_seq;
           Alcotest.test_case "worker crash is contained" `Quick
             test_worker_crash_is_contained;
+          Alcotest.test_case "chunked queue: jobs 1 == jobs 8 for chunk 1/3/100"
+            `Quick test_chunked_queue_identity;
+          Alcotest.test_case "crash inside a chunk is contained" `Quick
+            test_chunk_crash_is_contained;
         ] );
       ( "eee",
         [

@@ -175,6 +175,20 @@ let test_access_errors_with_faulty_flash () =
   Alcotest.(check int) "format on broken flash" (code "ACCESS")
     (issue backend Spec.Format ~arg0:0 ~arg1:0)
 
+let test_flash_override () =
+  (* the plan/session flash override reaches the device model: on the
+     quick timing the software still behaves identically *)
+  let flash = Harness.flash_quick_config ~fault_rate:0.0 in
+  let backend = Harness.approach2 ~fault_rate:0.0 ~flash ~seed:3 () in
+  Alcotest.(check int) "format" (code "OK")
+    (issue backend Spec.Format ~arg0:0 ~arg1:0);
+  Alcotest.(check int) "write" (code "OK")
+    (issue backend Spec.Write ~arg0:2 ~arg1:2718);
+  Alcotest.(check int) "read" (code "OK")
+    (issue backend Spec.Read ~arg0:2 ~arg1:0);
+  Alcotest.(check int) "value round-trips" 2718
+    (Verif.Session.read_var backend "eee_read_value")
+
 (* --- approach 1 runs the same software --------------------------------------- *)
 
 let test_approach1_lifecycle () =
@@ -279,6 +293,8 @@ let suite_functional =
       test_busy_during_background_erase;
     Alcotest.test_case "access errors on faulty flash" `Quick
       test_access_errors_with_faulty_flash;
+    Alcotest.test_case "flash override reaches the model" `Quick
+      test_flash_override;
     Alcotest.test_case "approach-1 lifecycle" `Quick test_approach1_lifecycle;
   ]
 

@@ -1,0 +1,195 @@
+(* Concurrency stress for the sharded hash-consing table: N domains cons
+   random formulas at the same time, each in its own shuffled order, and
+   the table must still behave exactly like a single global one — ids
+   unique, physical equality iff structural equality, [equal]/[compare]
+   agreeing with a single-domain oracle that rebuilds the same formula
+   set afterwards. Construction recipes are plain data (no consing), so
+   the only shared mutable state under test is the cons table itself. *)
+
+module Prng = Stimuli.Prng
+
+(* ---- recipes: formula construction as pure data ------------------------ *)
+
+type recipe =
+  | RAtom of int (* 0 = true, 1 = false, else a proposition *)
+  | RNot of recipe
+  | RAnd of recipe * recipe
+  | ROr of recipe * recipe
+  | RNext of recipe
+  | RFin of int option * recipe
+  | RGlob of int option * recipe
+  | RUntil of int option * recipe * recipe
+  | RRel of int option * recipe * recipe
+
+let rec gen_recipe prng depth =
+  let atom () = RAtom (Prng.int_range prng ~lo:0 ~hi:7) in
+  if depth = 0 then atom ()
+  else
+    let sub () = gen_recipe prng (depth - 1) in
+    let bound () =
+      if Prng.bool prng then Some (Prng.int_range prng ~lo:0 ~hi:12) else None
+    in
+    match Prng.int_range prng ~lo:0 ~hi:8 with
+    | 0 -> atom ()
+    | 1 -> RNot (sub ())
+    | 2 -> RAnd (sub (), sub ())
+    | 3 -> ROr (sub (), sub ())
+    | 4 -> RNext (sub ())
+    | 5 -> RFin (bound (), sub ())
+    | 6 -> RGlob (bound (), sub ())
+    | 7 -> RUntil (bound (), sub (), sub ())
+    | _ -> RRel (bound (), sub (), sub ())
+
+let rec build = function
+  | RAtom 0 -> Formula.tru
+  | RAtom 1 -> Formula.fls
+  | RAtom n -> Formula.prop (Printf.sprintf "p%d" (n mod 6))
+  | RNot r -> Formula.not_ (build r)
+  | RAnd (a, b) -> Formula.and_ (build a) (build b)
+  | ROr (a, b) -> Formula.or_ (build a) (build b)
+  | RNext r -> Formula.next (build r)
+  | RFin (b, r) -> Formula.finally b (build r)
+  | RGlob (b, r) -> Formula.globally b (build r)
+  | RUntil (b, l, r) -> Formula.until b (build l) (build r)
+  | RRel (b, l, r) -> Formula.release b (build l) (build r)
+
+(* structural equality that never looks at ids — the independent oracle
+   for what hash-consing is supposed to decide *)
+let rec struct_eq a b =
+  match (a.Formula.node, b.Formula.node) with
+  | Formula.True, Formula.True | Formula.False, Formula.False -> true
+  | Formula.Prop x, Formula.Prop y -> String.equal x y
+  | Formula.Not x, Formula.Not y | Formula.Next x, Formula.Next y ->
+    struct_eq x y
+  | Formula.And (a1, b1), Formula.And (a2, b2)
+  | Formula.Or (a1, b1), Formula.Or (a2, b2) ->
+    struct_eq a1 a2 && struct_eq b1 b2
+  | Formula.Finally (b1, x), Formula.Finally (b2, y)
+  | Formula.Globally (b1, x), Formula.Globally (b2, y) ->
+    b1 = b2 && struct_eq x y
+  | Formula.Until (b1, l1, r1), Formula.Until (b2, l2, r2)
+  | Formula.Release (b1, l1, r1), Formula.Release (b2, l2, r2) ->
+    b1 = b2 && struct_eq l1 l2 && struct_eq r1 r2
+  | _ -> false
+
+let rec collect_subterms acc f =
+  let acc = f :: acc in
+  match f.Formula.node with
+  | Formula.True | Formula.False | Formula.Prop _ -> acc
+  | Formula.Not g | Formula.Next g
+  | Formula.Finally (_, g)
+  | Formula.Globally (_, g) ->
+    collect_subterms acc g
+  | Formula.And (a, b)
+  | Formula.Or (a, b)
+  | Formula.Until (_, a, b)
+  | Formula.Release (_, a, b) ->
+    collect_subterms (collect_subterms acc a) b
+
+(* ---- one concurrent round ---------------------------------------------- *)
+
+let num_domains = 4
+let recipes_per_round = 120
+
+let shuffled_order prng n =
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Prng.int_range prng ~lo:0 ~hi:i in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  order
+
+(* every domain conses the same recipe set in a private shuffled order
+   (the per-domain scratch stream varies the interleaving between rounds
+   and domains); results are returned in recipe order *)
+let concurrent_round seed =
+  let prng = Prng.create ~seed in
+  let recipes =
+    Array.init recipes_per_round (fun _ ->
+        gen_recipe prng (1 + Prng.int_range prng ~lo:0 ~hi:3))
+  in
+  let build_all () =
+    let out = Array.make (Array.length recipes) Formula.tru in
+    let order =
+      shuffled_order (Prng.Domain_local.stream ()) (Array.length recipes)
+    in
+    Array.iter (fun i -> out.(i) <- build recipes.(i)) order;
+    out
+  in
+  let spawned = List.init num_domains (fun _ -> Domain.spawn build_all) in
+  let workers = List.map Domain.join spawned in
+  (* the single-domain oracle over the same formula set *)
+  let oracle = Array.map build recipes in
+  (workers, oracle)
+
+let check_round seed =
+  let workers, oracle = concurrent_round seed in
+  (* 1. every domain got the globally unique term: physical equality with
+     the oracle, elementwise *)
+  List.iter
+    (fun built ->
+      Array.iteri
+        (fun i term -> assert (term == oracle.(i)))
+        built)
+    workers;
+  (* the whole subterm pool of the round, deduplicated by id *)
+  let by_id : (int, Formula.t) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun f ->
+      List.iter
+        (fun sub ->
+          (* 2. id uniqueness: one id, one physical term *)
+          match Hashtbl.find_opt by_id (Formula.hash sub) with
+          | Some seen -> assert (seen == sub)
+          | None -> Hashtbl.replace by_id (Formula.hash sub) sub)
+        (collect_subterms [] f))
+    oracle;
+  let pool = Hashtbl.fold (fun _ f acc -> f :: acc) by_id [] in
+  let pool = Array.of_list pool in
+  let n = Array.length pool in
+  (* 3. physical equality iff structural equality, and [equal]/[compare]
+     agree with the structural oracle — over a pair sample *)
+  let prng = Prng.create ~seed:(seed lxor 0x51ab) in
+  for _ = 1 to 4_000 do
+    let a = pool.(Prng.int_range prng ~lo:0 ~hi:(n - 1)) in
+    let b = pool.(Prng.int_range prng ~lo:0 ~hi:(n - 1)) in
+    let structural = struct_eq a b in
+    assert ((a == b) = structural);
+    assert (Formula.equal a b = structural);
+    assert ((Formula.compare a b = 0) = structural)
+  done;
+  true
+
+(* ---- entry points -------------------------------------------------------- *)
+
+(* the acceptance bar: no flaky interleaving over 20 fresh rounds *)
+let qcheck_concurrent_cons =
+  QCheck.Test.make ~name:"4 domains cons concurrently like one" ~count:20
+    QCheck.small_int
+    (fun salt -> check_round (0x0c0de + salt))
+
+let test_diagnostics_move () =
+  let before = Formula.cons_stats () in
+  ignore (check_round 0xfeed);
+  let after = Formula.cons_stats () in
+  Alcotest.(check bool) "terms allocated monotonically" true
+    (after.Formula.terms >= before.Formula.terms);
+  Alcotest.(check bool) "domain caches absorbed constructions" true
+    (after.Formula.dls_hits > before.Formula.dls_hits);
+  Alcotest.(check bool) "shard acquisitions only on cache misses" true
+    (after.Formula.shard_acquisitions - before.Formula.shard_acquisitions
+    >= after.Formula.terms - before.Formula.terms);
+  Alcotest.(check int) "16 shards" 16 after.Formula.shards
+
+let () =
+  Alcotest.run "formula-concurrency"
+    [
+      ( "cons",
+        [
+          QCheck_alcotest.to_alcotest qcheck_concurrent_cons;
+          Alcotest.test_case "contention diagnostics move" `Quick
+            test_diagnostics_move;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Golden-trace regression: small checked-in projections of the jobs=1
+   JSONL trace for one EEE property per approach. Monitor state
+   numbering, trigger order and trace sequencing all flow through the
+   hash-consing and campaign layers, so any change that silently
+   renumbers monitor state or reorders the merge shows up here as a
+   byte diff. The traces contain only deterministic data (seeded
+   stimulus, simulation time units) — no wall clock — so they are
+   reproducible across machines.
+
+   Approach 1 triggers on every clock cycle (that is the point of the
+   approach), so its full trace runs to megabytes. The checked-in
+   golden is therefore a decimated projection: every structural event
+   (handshake, verdict change, test-case boundary, watchdog, crash)
+   plus every 100th line of the full stream, each line kept verbatim.
+   Because the retained lines carry their original [seq] and [tu]
+   fields, any insertion, deletion or reordering anywhere in the full
+   stream still shifts the projection and fails the byte comparison.
+
+   Regenerate (only when an intentional semantic change invalidates
+   them) from the repo root with:
+
+     dune exec test/test_golden_trace.exe -- --generate test/golden *)
+
+module Campaign = Verif.Campaign
+module Harness = Eee.Harness
+
+let plan approach =
+  {
+    Harness.default_plan with
+    Harness.ops = [ Eee.Eee_spec.Read ];
+    approaches = [ approach ];
+    cases_per_op = 2;
+    fault_rate = 0.01;
+    seed = 23;
+  }
+
+let golden_file approach = Printf.sprintf "eee_a%d_read.jsonl" approach
+
+(* ---- decimated projection ---------------------------------------------- *)
+
+let keep_every = 100
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+  at 0
+
+let bulk line =
+  contains line "\"event\":\"trigger\"" || contains line "\"event\":\"sample\""
+
+let project jsonl =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun index line ->
+      if line <> "" && ((not (bulk line)) || index mod keep_every = 0) then begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      end)
+    (String.split_on_char '\n' jsonl);
+  Buffer.contents buf
+
+(* ---- checks -------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_golden ~approach () =
+  let golden = read_file (Filename.concat "golden" (golden_file approach)) in
+  Alcotest.(check bool) "golden trace is non-trivial" true
+    (String.length golden > 0);
+  let summary = Harness.run_campaign ~workers:1 (plan approach) in
+  Alcotest.(check (list (pair string string))) "no job errors" []
+    (Campaign.errors summary);
+  Alcotest.(check string) "jobs=1 reproduces the golden bytes" golden
+    (project (Campaign.to_jsonl summary))
+
+(* the pool path must emit the same bytes as the recorded jobs=1 run *)
+let check_golden_pooled () =
+  let golden = read_file (Filename.concat "golden" (golden_file 2)) in
+  let summary = Harness.run_campaign ~workers:2 ~chunk:1 (plan 2) in
+  Alcotest.(check string) "pooled run reproduces the golden bytes" golden
+    (project (Campaign.to_jsonl summary))
+
+(* ---- regeneration -------------------------------------------------------- *)
+
+let generate dir =
+  List.iter
+    (fun approach ->
+      let summary = Harness.run_campaign ~workers:1 (plan approach) in
+      (match Campaign.errors summary with
+      | [] -> ()
+      | errors ->
+        List.iter
+          (fun (label, message) ->
+            Printf.eprintf "job error in %s: %s\n" label message)
+          errors;
+        exit 1);
+      let path = Filename.concat dir (golden_file approach) in
+      let oc = open_out_bin path in
+      output_string oc (project (Campaign.to_jsonl summary));
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    [ 1; 2 ]
+
+let () =
+  match Sys.argv with
+  | [| _; "--generate"; dir |] -> generate dir
+  | _ ->
+    Alcotest.run "golden-trace"
+      [
+        ( "eee",
+          [
+            Alcotest.test_case "approach 1, Read, jobs=1" `Quick
+              (check_golden ~approach:1);
+            Alcotest.test_case "approach 2, Read, jobs=1" `Quick
+              (check_golden ~approach:2);
+            Alcotest.test_case "approach 2, Read, pooled" `Quick
+              check_golden_pooled;
+          ] );
+      ]

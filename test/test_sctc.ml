@@ -143,10 +143,19 @@ let test_synthesis_time_accounted () =
   Checker.register_sampler checker "a" (fun () -> true);
   Alcotest.(check (float 0.0)) "zero before" 0.0
     (Checker.synthesis_seconds checker);
+  (* a bound no other test synthesizes, so this add is a cache miss *)
   Checker.add_property_text ~engine:Checker.Explicit checker ~name:"p"
-    "F[2000] a";
+    "F[2017] a";
   Alcotest.(check bool) "positive after explicit synthesis" true
-    (Checker.synthesis_seconds checker > 0.0)
+    (Checker.synthesis_seconds checker > 0.0);
+  (* the same property on a fresh checker is served by the per-domain
+     automaton cache: no new synthesis time is charged *)
+  let cached = Checker.create ~name:"t2" () in
+  Checker.register_sampler cached "a" (fun () -> true);
+  Checker.add_property_text ~engine:Checker.Explicit cached ~name:"p"
+    "F[2017] a";
+  Alcotest.(check (float 0.0)) "cache hit charges no synthesis time" 0.0
+    (Checker.synthesis_seconds cached)
 
 (* --- coverage ------------------------------------------------------------- *)
 
