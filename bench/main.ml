@@ -22,6 +22,7 @@ module Driver = Eee.Driver
 module Harness = Eee.Harness
 module Checker = Sctc.Checker
 module Coverage = Sctc.Coverage
+module Registry = Obs.Registry
 
 let scale = ref 1
 let fig7_timeout = ref 5.0
@@ -191,14 +192,18 @@ let synth_seconds_sum summary =
     (Verif.Campaign.results summary)
 
 (* One pooled run of [plan] against the recorded sequential baseline:
-   wall clock, per-stage times (AR synthesis vs whole-job verification),
-   identity checks, and the contention counters of this run (job-queue
-   acquisitions from the summary; cons-table counters as deltas of the
-   process-wide totals). Returns [(ok_for_ci, record)]. *)
+   wall clock, per-stage times from a fresh lib/obs registry (simulate /
+   check / synthesize / parse / merge / queue-wait), identity checks,
+   and the contention counters of this run (job-queue acquisitions from
+   the summary; cons-table counters as deltas of the process-wide
+   totals). Returns [(ok_for_ci, record)]. *)
 let campaign_round ~plan ~sequential ~cores jobs_n =
   let cons_before = Formula.cons_stats () in
   let cache_before = Ar_automaton.cache_stats () in
-  let pooled = Harness.run_campaign ~workers:jobs_n plan in
+  let metrics = Registry.create () in
+  let pooled =
+    Harness.run_campaign ~workers:jobs_n { plan with Harness.metrics }
+  in
   let cons_after = Formula.cons_stats () in
   let cache_after = Ar_automaton.cache_stats () in
   let verdicts_identical =
@@ -207,8 +212,11 @@ let campaign_round ~plan ~sequential ~cores jobs_n =
   let jsonl_identical =
     String.equal
       (Verif.Campaign.to_jsonl sequential)
-      (Verif.Campaign.to_jsonl pooled)
+      (* charge this render to the merge stage timer of the round *)
+      (Verif.Campaign.to_jsonl ~metrics pooled)
   in
+  let stage name = Registry.sum_seconds metrics (Registry.stage_name name) in
+  let queue_wait = Registry.sum_seconds metrics "campaign_queue_wait_seconds" in
   let speedup =
     if pooled.Verif.Campaign.wall_seconds > 0.0 then
       sequential.Verif.Campaign.wall_seconds
@@ -231,6 +239,12 @@ let campaign_round ~plan ~sequential ~cores jobs_n =
     (cons_after.Formula.shard_acquisitions
     - cons_before.Formula.shard_acquisitions)
     (cons_after.Formula.shard_contention - cons_before.Formula.shard_contention);
+  Printf.printf
+    "        stages (lib/obs): simulate %.2fs, check %.2fs, synth %.3fs, \
+     parse %.3fs, merge %.3fs, queue-wait %.3fs\n"
+    (stage Registry.Simulate) (stage Registry.Check)
+    (stage Registry.Synthesize) (stage Registry.Parse) (stage Registry.Merge)
+    queue_wait;
   Printf.printf "        verdicts identical: %b, merged JSONL identical: %b\n"
     verdicts_identical jsonl_identical;
   let slowdown = jobs_n > 1 && speedup < 1.0 in
@@ -284,11 +298,40 @@ let campaign_round ~plan ~sequential ~cores jobs_n =
            Json.int
              (cache_after.Ar_automaton.cache_misses
              - cache_before.Ar_automaton.cache_misses) );
+         ("stage_simulate_seconds", Json.float (stage Registry.Simulate));
+         ("stage_check_seconds", Json.float (stage Registry.Check));
+         ("stage_synthesize_seconds", Json.float (stage Registry.Synthesize));
+         ("stage_parse_seconds", Json.float (stage Registry.Parse));
+         ("stage_merge_seconds", Json.float (stage Registry.Merge));
+         ("queue_wait_seconds", Json.float queue_wait);
+         ( "check_triggers",
+           Json.int (Registry.total metrics "sctc_triggers_total") );
        ]);
   let identity_ok = verdicts_identical && jsonl_identical in
   (* the CI gate: identity must always hold; a slowdown only fails the
      gate where the hardware could actually have parallelized the pool *)
   identity_ok && not (slowdown && cores >= 2)
+
+(* The documented overhead budget of lib/obs: one pooled run with a live
+   registry vs one with [Registry.null] at the same worker count. The
+   gate allows 5% relative overhead with a 0.05s absolute floor, so
+   timing noise on sub-second CI runs cannot flake the gate. *)
+let run_overhead_check ~plan ~jobs_n =
+  let run metrics =
+    (Harness.run_campaign ~workers:jobs_n { plan with Harness.metrics })
+      .Verif.Campaign.wall_seconds
+  in
+  let disabled = run Registry.null in
+  let metered = run (Registry.create ()) in
+  let overhead = metered -. disabled in
+  let relative = if disabled > 0.0 then overhead /. disabled else 0.0 in
+  let ok = overhead <= 0.05 || relative <= 0.05 in
+  Printf.printf
+    "metrics overhead at jobs=%d: %.3fs metered vs %.3fs disabled (%+.1f%%) \
+     -- %s (gate: <= 5%% or <= 0.05s)\n"
+    jobs_n metered disabled (100.0 *. relative)
+    (if ok then "ok" else "EXCEEDED");
+  ok
 
 let run_campaign_bench () =
   let sweep = if !ci_mode then [ !jobs ] else [ 1; 2; 4; 8 ] in
@@ -319,8 +362,11 @@ let run_campaign_bench () =
       (fun ok jobs_n -> campaign_round ~plan ~sequential ~cores jobs_n && ok)
       true sweep
   in
+  let overhead_ok =
+    run_overhead_check ~plan ~jobs_n:(List.fold_left max 1 sweep)
+  in
   Printf.printf "recorded in BENCH_campaign.json\n\n";
-  ok
+  ok && overhead_ok
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)

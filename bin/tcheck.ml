@@ -9,7 +9,8 @@
      verify     simulation-based temporal verification (approach 1 or 2)
      bmc        bounded model checking
      absref     predicate-abstraction model checking
-     eee        run a case-study verification campaign *)
+     eee        run a case-study verification campaign
+     metrics    validate a metrics snapshot written by --metrics *)
 
 open Cmdliner
 
@@ -136,18 +137,24 @@ let cmd_sim =
 
 let cmd_automaton =
   let action text psl =
-    let formula =
-      if psl then Psl.parse text else Fltl_parser.parse text
-    in
-    let automaton = Ar_automaton.synthesize formula in
-    Printf.printf "%s\n" (Ar_automaton.stats automaton);
-    print_string (Il.to_string (Il.of_automaton ~name:"property" automaton));
-    0
+    let syntax = if psl then `Psl else `Auto in
+    match Sctc.Prop.parse ~syntax text with
+    | Error error ->
+      Printf.eprintf "property %s\n" (Sctc.Prop.error_to_string error);
+      2
+    | Ok formula ->
+      let automaton = Ar_automaton.synthesize formula in
+      Printf.printf "%s\n" (Ar_automaton.stats automaton);
+      print_string (Il.to_string (Il.of_automaton ~name:"property" automaton));
+      0
   in
   let property =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PROPERTY")
   in
-  let psl = Arg.(value & flag & info [ "psl" ] ~doc:"Parse as PSL") in
+  let psl =
+    Arg.(value & flag & info [ "psl" ]
+           ~doc:"Force PSL (default: auto-detect via Sctc.Prop)")
+  in
   Cmd.v
     (Cmd.info "automaton"
        ~doc:"Synthesize a property into an AR-automaton (IL text)")
@@ -155,18 +162,10 @@ let cmd_automaton =
 
 (* --- verify ---------------------------------------------------------- *)
 
-let prop_conv =
-  let parse s =
-    match String.index_opt s '=' with
-    | Some i when i > 0 ->
-      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-    | _ -> Error (`Msg "expected NAME=EXPR")
-  in
-  Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
-
 let cmd_verify =
-  let action path approach properties props budget flag trace_file jobs chunk =
+  let action path approach properties props budget flag common =
     let info = load path in
+    let metrics = Tcheck_cli.registry common in
     let backend =
       match approach with
       | 0 -> Verif.Session.Reference
@@ -189,6 +188,23 @@ let cmd_verify =
           (fun i property -> (Printf.sprintf "property%d" (i + 1), property))
           properties
     in
+    (* fail fast on malformed properties, before any session is built:
+       one structured parse error per bad property, not a crashed job *)
+    let bad =
+      List.filter_map
+        (fun (name, text) ->
+          match Sctc.Prop.parse text with
+          | Ok _ -> None
+          | Error error ->
+            Some
+              (Printf.sprintf "tcheck verify: %s: %s" name
+                 (Sctc.Prop.error_to_string error)))
+        named
+    in
+    if bad <> [] then begin
+      List.iter (Printf.eprintf "%s\n") bad;
+      exit 2
+    end;
     let job_of (name, text) =
       Verif.Campaign.job ~label:name (fun trace ->
           let config =
@@ -198,8 +214,10 @@ let cmd_verify =
               properties = [ (name, text) ];
               propositions = props;
               bound = Some budget;
+              seed = common.Tcheck_cli.seed;
               flag;
               trace;
+              metrics;
             }
           in
           let session = Verif.Session.create ~info config backend in
@@ -207,15 +225,10 @@ let cmd_verify =
           Verif.Session.result session)
     in
     let summary =
-      Verif.Campaign.run ~workers:jobs ?chunk (List.map job_of named)
+      Verif.Campaign.run ~metrics ~workers:common.Tcheck_cli.jobs
+        ?chunk:common.Tcheck_cli.chunk (List.map job_of named)
     in
-    (match trace_file with
-    | None -> ()
-    | Some out -> (
-      try Verif.Campaign.write_jsonl out summary
-      with Sys_error msg ->
-        Printf.eprintf "--trace: %s\n" msg;
-        exit 2));
+    Tcheck_cli.finish common metrics summary;
     List.iter
       (fun outcome ->
         match outcome.Verif.Campaign.result with
@@ -243,12 +256,14 @@ let cmd_verify =
            ~doc:"0 = reference interpreter, 1 = microprocessor model, 2 = derived SystemC model")
   in
   let property =
-    Arg.(value & opt_all string [] & info [ "property" ] ~docv:"FLTL"
-           ~doc:"FLTL property over the declared propositions (repeatable; \
-                 each property becomes one campaign job)")
+    Arg.(value & opt_all string [] & info [ "property" ] ~docv:"PROPERTY"
+           ~doc:"FLTL or PSL property over the declared propositions \
+                 (syntax auto-detected via Sctc.Prop; repeatable; each \
+                 property becomes one campaign job)")
   in
   let props =
-    Arg.(value & opt_all prop_conv [] & info [ "prop" ] ~docv:"NAME=EXPR"
+    Arg.(value & opt_all Tcheck_cli.prop_conv [] & info [ "prop" ]
+           ~docv:"NAME=EXPR"
            ~doc:"Proposition definition (boolean MiniC expression over globals)")
   in
   let budget =
@@ -259,27 +274,11 @@ let cmd_verify =
     Arg.(value & opt (some string) None & info [ "flag" ]
            ~doc:"Initialization flag variable for the approach-1 handshake")
   in
-  let trace_file =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
-           ~doc:"Write the structured verification trace (triggers, samples, \
-                 verdict changes, handshake) as JSONL to this file; with \
-                 --jobs the per-job traces are merged in job order")
-  in
-  let jobs =
-    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
-           ~doc:"Fan the property jobs out over N domains (default 1); \
-                 verdicts and trace output are identical for any N")
-  in
-  let chunk =
-    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
-           ~doc:"Jobs a worker claims per queue acquisition (scheduling \
-                 only; default ~4 claims per worker)")
-  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
     Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag
-          $ trace_file $ jobs $ chunk)
+          $ Tcheck_cli.term ~default_seed:42)
 
 let cmd_bmc =
   let action path unwind timeout =
@@ -338,8 +337,7 @@ let cmd_absref =
     Term.(const action $ file_arg $ timeout)
 
 let cmd_eee =
-  let action approach op_names cases bound fault_rate jobs chunk seed
-      trace_file =
+  let action approach op_names cases bound fault_rate common =
     let find_op name =
       match
         List.find_opt
@@ -363,6 +361,7 @@ let cmd_eee =
       Printf.eprintf "unknown approach %d\n" approach;
       exit 2
     end;
+    let metrics = Tcheck_cli.registry common in
     let plan =
       {
         Eee.Harness.default_plan with
@@ -371,17 +370,15 @@ let cmd_eee =
         cases_per_op = cases;
         bound;
         fault_rate;
-        seed;
+        seed = common.Tcheck_cli.seed;
+        metrics;
       }
     in
-    let summary = Eee.Harness.run_campaign ~workers:jobs ?chunk plan in
-    (match trace_file with
-    | None -> ()
-    | Some out -> (
-      try Verif.Campaign.write_jsonl out summary
-      with Sys_error msg ->
-        Printf.eprintf "--trace: %s\n" msg;
-        exit 2));
+    let summary =
+      Eee.Harness.run_campaign ~workers:common.Tcheck_cli.jobs
+        ?chunk:common.Tcheck_cli.chunk plan
+    in
+    Tcheck_cli.finish common metrics summary;
     List.iter
       (fun outcome ->
         Format.printf "--- %s ---@." outcome.Verif.Campaign.label;
@@ -423,27 +420,28 @@ let cmd_eee =
     Arg.(value & opt float 0.02 & info [ "fault-rate" ]
            ~doc:"Flash fault-injection probability")
   in
-  let jobs =
-    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
-           ~doc:"Fan the per-operation campaigns out over N domains \
-                 (default 1); results are identical for any N")
-  in
-  let chunk =
-    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
-           ~doc:"Jobs a worker claims per queue acquisition (scheduling \
-                 only; default ~4 claims per worker)")
-  in
-  let seed =
-    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Campaign master seed")
-  in
-  let trace_file =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
-           ~doc:"Write the merged campaign trace as JSONL to this file")
-  in
   Cmd.v
     (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
-    Term.(const action $ approach $ op $ cases $ bound $ fault_rate $ jobs
-          $ chunk $ seed $ trace_file)
+    Term.(const action $ approach $ op $ cases $ bound $ fault_rate
+          $ Tcheck_cli.term ~default_seed:7)
+
+let cmd_metrics =
+  let action path =
+    match Obs.Export.validate_snapshot_file path with
+    | Ok n ->
+      Printf.printf "%s: OK (%d metrics)\n" path n;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      2
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.jsonl")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Validate a metrics JSONL snapshot written by --metrics")
+    Term.(const action $ file)
 
 let () =
   let doc = "temporal verification of automotive embedded software" in
@@ -453,5 +451,5 @@ let () =
           (Cmd.info "tcheck" ~version:"1.0.0" ~doc)
           [
             cmd_parse; cmd_run; cmd_compile; cmd_sim; cmd_automaton;
-            cmd_verify; cmd_bmc; cmd_absref; cmd_eee;
+            cmd_verify; cmd_bmc; cmd_absref; cmd_eee; cmd_metrics;
           ]))

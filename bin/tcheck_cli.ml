@@ -1,0 +1,80 @@
+(* Tcheck_cli — the option surface shared by the campaign subcommands.
+
+   [tcheck verify] and [tcheck eee] historically declared private copies
+   of --jobs/--chunk/--seed/--trace; this module is their single
+   definition, plus the --metrics surface added with lib/obs. *)
+
+open Cmdliner
+
+type common = {
+  jobs : int;
+  chunk : int option;
+  seed : int;
+  trace_file : string option;
+  metrics_file : string option;
+}
+
+let prop_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Error (`Msg "expected NAME=EXPR")
+  in
+  Arg.conv (parse, fun fmt (n, e) -> Format.fprintf fmt "%s=%s" n e)
+
+let term ~default_seed =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Fan the campaign jobs out over N domains (default 1); \
+                 verdicts and trace output are identical for any N")
+  in
+  let chunk =
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"C"
+           ~doc:"Jobs a worker claims per queue acquisition (scheduling \
+                 only; default ~4 claims per worker)")
+  in
+  let seed =
+    Arg.(value & opt int default_seed & info [ "seed" ]
+           ~doc:"Campaign master seed")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+           ~doc:"Write the structured verification trace (triggers, \
+                 samples, verdict changes) as JSONL to this file; with \
+                 --jobs the per-job traces are merged in job order")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics" ]
+           ~docv:"FILE.jsonl"
+           ~doc:"Record counters, stage timings and latency histograms \
+                 (lib/obs) during the run and write the snapshot as JSONL \
+                 to this file; validate it with $(b,tcheck metrics)")
+  in
+  let combine jobs chunk seed trace_file metrics_file =
+    { jobs; chunk; seed; trace_file; metrics_file }
+  in
+  Term.(const combine $ jobs $ chunk $ seed $ trace_file $ metrics_file)
+
+(* a live registry only when a snapshot was requested, so un-instrumented
+   runs keep the null registry's no-op handles *)
+let registry common =
+  match common.metrics_file with
+  | Some _ -> Obs.Registry.create ()
+  | None -> Obs.Registry.null
+
+let finish common metrics summary =
+  (match common.trace_file with
+  | None -> ()
+  | Some out -> (
+    try Verif.Campaign.write_jsonl ~metrics out summary
+    with Sys_error msg ->
+      Printf.eprintf "--trace: %s\n" msg;
+      exit 2));
+  match common.metrics_file with
+  | None -> ()
+  | Some out -> (
+    try Obs.Export.write_jsonl out metrics
+    with Sys_error msg ->
+      Printf.eprintf "--metrics: %s\n" msg;
+      exit 2)

@@ -1,0 +1,27 @@
+(** The option surface shared by the [tcheck] campaign subcommands
+    ([verify], [eee]): worker-pool shape, campaign seed, and the trace /
+    metrics output files, declared once instead of per subcommand. *)
+
+type common = {
+  jobs : int;  (** worker domains (default 1) *)
+  chunk : int option;  (** jobs claimed per queue acquisition *)
+  seed : int;  (** campaign master seed *)
+  trace_file : string option;  (** [--trace FILE.jsonl] *)
+  metrics_file : string option;  (** [--metrics FILE.jsonl] *)
+}
+
+val prop_conv : (string * string) Cmdliner.Arg.conv
+(** [NAME=EXPR] proposition definitions ([--prop]). *)
+
+val term : default_seed:int -> common Cmdliner.Term.t
+(** The [--jobs]/[--chunk]/[--seed]/[--trace]/[--metrics] terms combined;
+    [default_seed] keeps each subcommand's historical seed default. *)
+
+val registry : common -> Obs.Registry.t
+(** A fresh live registry when [--metrics] was given, {!Obs.Registry.null}
+    otherwise. *)
+
+val finish : common -> Obs.Registry.t -> Verif.Campaign.summary -> unit
+(** Write the merged campaign trace ([--trace], charged to the merge
+    stage timer) and the metrics snapshot ([--metrics]). Unwritable
+    files exit 2 with the failing option named. *)

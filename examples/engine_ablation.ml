@@ -56,6 +56,6 @@ let () =
   print_newline ();
   print_endline "IL of G (req -> F[2] ack):";
   let automaton =
-    Ar_automaton.synthesize (Fltl_parser.parse "G (req -> F[2] ack)")
+    Ar_automaton.synthesize (Sctc.Prop.parse_exn "G (req -> F[2] ack)")
   in
   print_string (Il.to_string (Il.of_automaton ~name:"response" automaton))

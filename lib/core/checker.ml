@@ -1,5 +1,7 @@
+module Registry = Obs.Registry
+
 type engine = On_the_fly | Explicit | Via_il
-type syntax = Fltl | Psl
+type syntax = Fltl | Psl | Auto
 
 type property = {
   prop_name : string;
@@ -11,6 +13,17 @@ type property = {
   mutable traced_any : bool;
 }
 
+(* metric handles, resolved once at creation; all are shared no-ops on
+   [Registry.null], so the hot path pays one boolean test *)
+type meters = {
+  metered : bool;
+  m_triggers : Registry.Counter.t;
+  m_transitions : Registry.Counter.t;
+  m_step_latency : Registry.Timer.t; (* per-trigger checker latency *)
+  m_synthesize : Registry.Timer.t;
+  m_parse : Registry.Timer.t;
+}
+
 type t = {
   c_name : string;
   table : Proposition.Table.table;
@@ -20,9 +33,24 @@ type t = {
   mutable violation_callbacks : (string -> int -> unit) list;
   mutable trace : Trace.t;
   mutable time_source : unit -> int;
+  meters : meters;
 }
 
-let create ?(trace = Trace.null) ~name () =
+let make_meters metrics =
+  {
+    metered = Registry.enabled metrics;
+    m_triggers =
+      Registry.counter metrics "sctc_triggers_total"
+        ~help:"checker trigger (step) count";
+    m_transitions =
+      Registry.counter metrics "sctc_verdict_transitions_total"
+        ~help:"per-property verdict changes (incl. the first verdict)";
+    m_step_latency = Registry.stage_timer metrics Registry.Check;
+    m_synthesize = Registry.stage_timer metrics Registry.Synthesize;
+    m_parse = Registry.stage_timer metrics Registry.Parse;
+  }
+
+let create ?(trace = Trace.null) ?(metrics = Registry.null) ~name () =
   let checker =
     {
       c_name = name;
@@ -33,6 +61,7 @@ let create ?(trace = Trace.null) ~name () =
       violation_callbacks = [];
       trace;
       time_source = (fun () -> 0);
+      meters = make_meters metrics;
     }
   in
   (* default time reference: the trigger count itself *)
@@ -88,9 +117,12 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
      actually derived here, so a cache hit costs (and reports) nothing *)
   let synthesized () =
     let automaton, fresh = Ar_automaton.synthesize_memo ?max_states formula in
-    if fresh then
+    if fresh then begin
       checker.synthesis_seconds <-
         checker.synthesis_seconds +. Ar_automaton.build_seconds automaton;
+      Registry.Timer.observe checker.meters.m_synthesize
+        (Ar_automaton.build_seconds automaton)
+    end;
     automaton
   in
   let monitor =
@@ -116,14 +148,18 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
     :: checker.properties
 
 let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
+  let prop_syntax =
+    match syntax with Fltl -> `Fltl | Psl -> `Psl | Auto -> `Auto
+  in
   let formula =
-    match syntax with Fltl -> Fltl_parser.parse text | Psl -> Psl.parse text
+    Registry.Timer.time checker.meters.m_parse (fun () ->
+        Prop.parse_exn ~syntax:prop_syntax text)
   in
   add_property ?engine ?max_states checker ~name formula
 
-let step checker =
-  checker.step_count <- checker.step_count + 1;
+let step_monitors checker =
   let tracing = Trace.enabled checker.trace in
+  let metered = checker.meters.metered in
   List.iter
     (fun property ->
       let before_final = Verdict.is_final (Monitor.verdict property.monitor) in
@@ -132,14 +168,16 @@ let step checker =
          && property.final_at = None
       then property.final_at <- Some (checker.time_source ());
       if
-        tracing
+        (tracing || metered)
         && ((not property.traced_any)
            || not (Verdict.equal verdict property.traced_verdict))
       then begin
         property.traced_any <- true;
         property.traced_verdict <- verdict;
-        Trace.emit checker.trace
-          (Trace.Verdict_change { property = property.prop_name; verdict })
+        if metered then Registry.Counter.incr checker.meters.m_transitions;
+        if tracing then
+          Trace.emit checker.trace
+            (Trace.Verdict_change { property = property.prop_name; verdict })
       end;
       if
         (not before_final)
@@ -153,7 +191,27 @@ let step checker =
       end)
     (List.rev checker.properties)
 
+(* one trigger; when metered, stamp the per-trigger latency histogram *)
+let step checker =
+  checker.step_count <- checker.step_count + 1;
+  if checker.meters.metered then begin
+    let started = Unix.gettimeofday () in
+    step_monitors checker;
+    Registry.Timer.observe checker.meters.m_step_latency
+      (Unix.gettimeofday () -. started);
+    Registry.Counter.incr checker.meters.m_triggers
+  end
+  else step_monitors checker
+
 let steps checker = checker.step_count
+
+let unknown_property checker caller name =
+  invalid_arg
+    (Printf.sprintf "Checker.%s(%s): unknown property %S (known: %s)" caller
+       checker.c_name name
+       (match List.rev_map (fun p -> p.prop_name) checker.properties with
+       | [] -> "none"
+       | names -> String.concat ", " names))
 
 let verdict checker name =
   match
@@ -162,7 +220,7 @@ let verdict checker name =
       checker.properties
   with
   | Some property -> Monitor.verdict property.monitor
-  | None -> raise Not_found
+  | None -> unknown_property checker "verdict" name
 
 let verdicts checker =
   List.rev_map
@@ -186,7 +244,7 @@ let first_final_at checker name =
       checker.properties
   with
   | Some property -> property.final_at
-  | None -> raise Not_found
+  | None -> unknown_property checker "first_final_at" name
 
 let reset checker =
   checker.step_count <- 0;

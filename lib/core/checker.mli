@@ -21,10 +21,16 @@ type engine =
   | Explicit  (** pre-synthesized AR-automaton *)
   | Via_il  (** explicit automaton serialized to IL and re-parsed *)
 
-type syntax = Fltl | Psl
+type syntax = Fltl | Psl | Auto
 
-val create : ?trace:Trace.t -> name:string -> unit -> t
-(** [trace] defaults to {!Trace.null} (no events published). *)
+val create :
+  ?trace:Trace.t -> ?metrics:Obs.Registry.t -> name:string -> unit -> t
+(** [trace] defaults to {!Trace.null} (no events published); [metrics]
+    defaults to {!Obs.Registry.null} (no-op handles, one boolean test on
+    the hot path). With a live registry the checker records
+    [sctc_triggers_total], [sctc_verdict_transitions_total], per-trigger
+    latency under the [check] stage timer, and charges property parsing
+    and explicit synthesis to the [parse] / [synthesize] stage timers. *)
 
 val name : t -> string
 
@@ -64,7 +70,9 @@ val add_property_text :
   name:string ->
   string ->
   unit
-(** Parse and add ([syntax] defaults to [Fltl]). *)
+(** Parse via {!Prop.parse_exn} and add ([syntax] defaults to [Fltl] for
+    compatibility; [Auto] applies {!Prop.detect_syntax}).
+    @raise Prop.Parse_error on malformed property text. *)
 
 val property_names : t -> string list
 
@@ -76,7 +84,9 @@ val step : t -> unit
 val steps : t -> int
 
 val verdict : t -> string -> Verdict.t
-(** Current verdict of a property. @raise Not_found for unknown names. *)
+(** Current verdict of a property.
+    @raise Invalid_argument for unknown names (the message lists the
+    registered property names). *)
 
 val verdicts : t -> (string * Verdict.t) list
 
@@ -88,8 +98,9 @@ val finalize : ?strong:bool -> t -> (string * Verdict.t) list
 
 val first_final_at : t -> string -> int option
 (** Time unit (via the installed time source) at which a property first
-    reached a final verdict, if it has. @raise Not_found for unknown
-    names. *)
+    reached a final verdict, if it has.
+    @raise Invalid_argument for unknown names (the message lists the
+    registered property names). *)
 
 val reset : t -> unit
 (** Reset all monitors and stateful propositions to their initial states. *)

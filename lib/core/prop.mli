@@ -1,0 +1,44 @@
+(** The single property-parsing entry point.
+
+    SCTC accepts properties in FLTL or the PSL foundation-language
+    subset; historically each syntax had its own [parse]/[parse_result]
+    pair with string-rendered errors ({!Fltl_parser}, {!Psl}). This
+    module unifies them behind one entry with a structured error, and
+    is what {!Checker.add_property_text}, [Verif.Session], the [tcheck]
+    CLI and the examples parse through. The old per-syntax entries
+    remain as thin deprecated wrappers for external callers.
+
+    Syntax selection:
+    - [`Fltl] / [`Psl]: exactly {!Fltl_parser.parse} / {!Psl.parse}.
+    - [`Auto] (the default): PSL when a PSL-only keyword ([always],
+      [never], [eventually], [next]) appears in the token stream,
+      FLTL otherwise. [until]/[release] appear in both grammars (FLTL
+      reads them as the strong [U]/[R], PSL's bare [until] is weak), so
+      they deliberately do {e not} flip detection — bare-word texts
+      keep their historical FLTL meaning. *)
+
+type syntax = [ `Fltl | `Psl | `Auto ]
+
+type error = {
+  line : int;
+  col : int;  (** 1-based position of the offending token *)
+  message : string;
+  input : string;  (** the property text as given *)
+}
+
+exception Parse_error of error
+
+val parse : ?syntax:syntax -> string -> (Formula.t, error) result
+(** Parse a property ([syntax] defaults to [`Auto]). Never raises. *)
+
+val parse_exn : ?syntax:syntax -> string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val detect_syntax : string -> [ `Fltl | `Psl ]
+(** The syntax [`Auto] would pick. Texts that do not tokenize are
+    reported as [`Fltl] (the error surfaces at parse time). *)
+
+val error_to_string : error -> string
+(** ["LINE:COL: MESSAGE in \"INPUT\""]. *)
+
+val pp_error : Format.formatter -> error -> unit

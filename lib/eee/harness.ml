@@ -1,5 +1,6 @@
 module Flash = Dataflash.Flash
 module Session = Verif.Session
+module Registry = Obs.Registry
 
 let flash_campaign_config ~fault_rate =
   {
@@ -17,7 +18,7 @@ let flash_quick_config ~fault_rate =
   { (flash_campaign_config ~fault_rate) with Flash.erase_ticks = 40; write_ticks = 4 }
 
 let approach1 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_cycles = 60)
-    ?(trace = Verif.Trace.null) () =
+    ?(trace = Verif.Trace.null) ?(metrics = Registry.null) () =
   let flash =
     match flash with
     | Some config -> config
@@ -32,6 +33,7 @@ let approach1 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_cycles = 60)
       flash = Some flash;
       flag = Some "flag";
       trace;
+      metrics;
     }
   in
   let session =
@@ -42,7 +44,7 @@ let approach1 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_cycles = 60)
   session
 
 let approach2 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_statements = 60)
-    ?(trace = Verif.Trace.null) () =
+    ?(trace = Verif.Trace.null) ?(metrics = Registry.null) () =
   let flash =
     match flash with
     | Some config -> config
@@ -56,6 +58,7 @@ let approach2 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_statements = 60)
       chunk = chunk_statements;
       flash = Some flash;
       trace;
+      metrics;
     }
   in
   let session =
@@ -78,6 +81,7 @@ type plan = {
   watchdog_chunks : int;
   seed : int;
   flash : Flash.config option;
+  metrics : Registry.t;
 }
 
 let default_plan =
@@ -91,7 +95,38 @@ let default_plan =
     watchdog_chunks = 200;
     seed = 7;
     flash = None;
+    metrics = Registry.null;
   }
+
+(* per-(approach, op) metric handles, resolved on the calling domain so
+   job closures carry ready handles into the pool *)
+let job_meters plan ~approach ~op =
+  let metrics = plan.metrics in
+  let labels =
+    [ ("approach", string_of_int approach); ("op", Eee_spec.op_name op) ]
+  in
+  let metered = Registry.enabled metrics in
+  let cases =
+    Registry.counter metrics "eee_cases_total" ~labels
+      ~help:"completed constrained-random test cases"
+  and timeouts =
+    Registry.counter metrics "eee_timeouts_total" ~labels
+      ~help:"watchdog hits during campaign jobs"
+  and triggers =
+    Registry.counter metrics "eee_triggers_total" ~labels
+      ~help:"checker triggers consumed by campaign jobs"
+  and vt =
+    Registry.timer metrics "eee_vt_seconds" ~labels
+      ~help:"per-job verification time (paper column V.T.)"
+  in
+  fun (result : Verif.Result.t) ->
+    if metered then begin
+      Registry.Counter.add cases (Verif.Result.completed_cases result);
+      Registry.Counter.add timeouts result.Verif.Result.timeouts;
+      Registry.Counter.add triggers result.Verif.Result.triggers;
+      Registry.Timer.observe vt result.Verif.Result.vt_seconds
+    end;
+    result
 
 let campaign_jobs plan =
   (* the memoized program forms are lazy: force them here, on the calling
@@ -110,15 +145,16 @@ let campaign_jobs plan =
          let label =
            Printf.sprintf "a%d/%s" approach (Eee_spec.op_name op)
          in
+         let record = job_meters plan ~approach ~op in
          Verif.Campaign.job ~label (fun trace ->
              let session =
                match approach with
                | 1 ->
                  approach1 ~fault_rate:plan.fault_rate ?flash:plan.flash
-                   ~seed:session_seed ~trace ()
+                   ~seed:session_seed ~trace ~metrics:plan.metrics ()
                | 2 ->
                  approach2 ~fault_rate:plan.fault_rate ?flash:plan.flash
-                   ~seed:session_seed ~trace ()
+                   ~seed:session_seed ~trace ~metrics:plan.metrics ()
                | n -> invalid_arg (Printf.sprintf "unknown approach %d" n)
              in
              Driver.install_spec ~bound:plan.bound ~engine:plan.engine
@@ -132,7 +168,8 @@ let campaign_jobs plan =
                  seed = driver_seed;
                }
              in
-             Driver.run_campaign session config op))
+             record (Driver.run_campaign session config op)))
 
 let run_campaign ?workers ?chunk plan =
-  Verif.Campaign.run ?workers ?chunk (campaign_jobs plan)
+  Verif.Campaign.run ~metrics:plan.metrics ?workers ?chunk
+    (campaign_jobs plan)

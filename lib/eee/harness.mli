@@ -21,6 +21,7 @@ val approach1 :
   ?seed:int ->
   ?chunk_cycles:int ->
   ?trace:Verif.Trace.t ->
+  ?metrics:Obs.Registry.t ->
   unit ->
   Verif.Session.t
 (** Approach 1: compile the software, load it into the SoC, attach the ESW
@@ -34,6 +35,7 @@ val approach2 :
   ?seed:int ->
   ?chunk_statements:int ->
   ?trace:Verif.Trace.t ->
+  ?metrics:Obs.Registry.t ->
   unit ->
   Verif.Session.t
 (** Approach 2: derive the SystemC software model, map flash controller,
@@ -61,11 +63,16 @@ type plan = {
   flash : Dataflash.Flash.config option;
       (** flash geometry/timing override; [None] means
           {!flash_campaign_config} at [fault_rate] *)
+  metrics : Obs.Registry.t;
+      (** threaded into every job's session, the pool, and the per-job
+          [eee_*] counters/histograms labeled [{approach, op}];
+          {!Obs.Registry.null} (the default) disables recording *)
 }
 
 val default_plan : plan
 (** All seven operations on approach 2, 50 cases each, no bound,
-    on-the-fly engine, fault rate 0.02, watchdog 200, seed 7. *)
+    on-the-fly engine, fault rate 0.02, watchdog 200, seed 7, null
+    metrics registry. *)
 
 val campaign_jobs : plan -> Verif.Campaign.job list
 (** One job per approach x operation, in plan order. Forces the memoized

@@ -1,3 +1,5 @@
+module Registry = Obs.Registry
+
 type job = { label : string; run : Trace.t -> Result.t }
 
 type outcome = {
@@ -17,6 +19,38 @@ type summary = {
 }
 
 let job ~label run = { label; run }
+
+(* metric handles for one campaign run, resolved once before the pool
+   spawns; recording from worker domains lands in per-domain cells, so
+   the workers never serialize on a metrics lock *)
+type meters = {
+  metered : bool;
+  m_jobs : Registry.Counter.t;
+  m_errors : Registry.Counter.t;
+  m_claims : Registry.Counter.t;
+  m_job_seconds : Registry.Timer.t;
+  m_queue_wait : Registry.Timer.t;
+}
+
+let make_meters metrics =
+  {
+    metered = Registry.enabled metrics;
+    m_jobs =
+      Registry.counter metrics "campaign_jobs_total"
+        ~help:"campaign jobs executed (including crashed jobs)";
+    m_errors =
+      Registry.counter metrics "campaign_job_errors_total"
+        ~help:"campaign jobs whose run raised";
+    m_claims =
+      Registry.counter metrics "campaign_chunk_claims_total"
+        ~help:"queue-mutex acquisitions that claimed a chunk of jobs";
+    m_job_seconds =
+      Registry.timer metrics "campaign_job_seconds"
+        ~help:"wall-clock runtime of one campaign job";
+    m_queue_wait =
+      Registry.timer metrics "campaign_queue_wait_seconds"
+        ~help:"per-worker wait for the job-queue mutex";
+  }
 
 (* One job, on whatever domain runs it: a private bus buffering events in
    memory, the job's exceptions confined to its outcome. *)
@@ -41,7 +75,22 @@ let execute index job =
    (and the pool) keeps running. *)
 let default_chunk ~count ~pool = max 1 (count / (pool * 4))
 
-let run ?(workers = 1) ?chunk jobs =
+let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
+  let meters = make_meters metrics in
+  let execute index job =
+    if meters.metered then begin
+      let started = Unix.gettimeofday () in
+      let outcome = execute index job in
+      Registry.Timer.observe meters.m_job_seconds
+        (Unix.gettimeofday () -. started);
+      Registry.Counter.incr meters.m_jobs;
+      (match outcome.result with
+      | Error _ -> Registry.Counter.incr meters.m_errors
+      | Ok _ -> ());
+      outcome
+    end
+    else execute index job
+  in
   let started = Unix.gettimeofday () in
   let jobs = Array.of_list jobs in
   let count = Array.length jobs in
@@ -61,16 +110,26 @@ let run ?(workers = 1) ?chunk jobs =
     let acquisitions = Atomic.make 0 in
     let contention = Atomic.make 0 in
     let take_chunk () =
+      let wait_started =
+        if meters.metered then Unix.gettimeofday () else 0.0
+      in
       if not (Mutex.try_lock lock) then begin
         Atomic.incr contention;
         Mutex.lock lock
       end;
+      if meters.metered then
+        Registry.Timer.observe meters.m_queue_wait
+          (Unix.gettimeofday () -. wait_started);
       Atomic.incr acquisitions;
       let lo = !next in
       let hi = min count (lo + chunk) in
       next := hi;
       Mutex.unlock lock;
-      if lo < hi then Some (lo, hi) else None
+      if lo < hi then begin
+        Registry.Counter.incr meters.m_claims;
+        Some (lo, hi)
+      end
+      else None
     in
     let rec drain () =
       match take_chunk () with
@@ -120,18 +179,21 @@ let events summary =
   |> List.concat_map (fun o -> o.events)
   |> List.mapi (fun seq event -> { event with Trace.seq })
 
-let to_jsonl summary =
-  let buffer = Buffer.create 4096 in
-  List.iter
-    (fun event ->
-      Buffer.add_string buffer (Trace.event_to_json event);
-      Buffer.add_char buffer '\n')
-    (events summary);
-  Buffer.contents buffer
+let to_jsonl ?(metrics = Registry.null) summary =
+  Registry.Timer.time
+    (Registry.stage_timer metrics Registry.Merge)
+    (fun () ->
+      let buffer = Buffer.create 4096 in
+      List.iter
+        (fun event ->
+          Buffer.add_string buffer (Trace.event_to_json event);
+          Buffer.add_char buffer '\n')
+        (events summary);
+      Buffer.contents buffer)
 
-let write_jsonl path summary =
+let write_jsonl ?metrics path summary =
   let oc = open_out_bin path in
-  output_string oc (to_jsonl summary);
+  output_string oc (to_jsonl ?metrics summary);
   close_out oc
 
 let verdicts summary =

@@ -46,14 +46,23 @@ type summary = {
 
 val job : label:string -> (Trace.t -> Result.t) -> job
 
-val run : ?workers:int -> ?chunk:int -> job list -> summary
+val run :
+  ?metrics:Obs.Registry.t -> ?workers:int -> ?chunk:int -> job list -> summary
 (** Execute the campaign on [workers] domains (default 1; clamped to the
     number of jobs). [workers = 1] runs inline on the calling domain; for
     [workers = N] the calling domain participates alongside [N - 1]
     spawned domains. Workers claim [chunk] consecutive job indices per
     queue-mutex acquisition (default: ~4 claims per worker, at least 1);
     the chunk size affects only scheduling, never the merged output. Job
-    exceptions are caught per job, even mid-chunk. *)
+    exceptions are caught per job, even mid-chunk.
+
+    With a live [metrics] registry (default {!Obs.Registry.null}) the
+    pool records [campaign_jobs_total], [campaign_job_errors_total],
+    [campaign_chunk_claims_total], the [campaign_job_seconds] runtime
+    histogram and the per-worker [campaign_queue_wait_seconds] wait
+    histogram. Workers record into per-domain cells and never serialize
+    on a metrics lock; recording never affects verdicts, the merge
+    order, or the trace JSONL. *)
 
 (** {2 Deterministic merge} *)
 
@@ -67,11 +76,12 @@ val events : summary -> Trace.event list
 (** All trace events, concatenated in job order and renumbered with a
     campaign-global [seq] starting at 0. *)
 
-val to_jsonl : summary -> string
+val to_jsonl : ?metrics:Obs.Registry.t -> summary -> string
 (** {!events} rendered one JSON object per line — byte-identical for any
-    worker count. *)
+    worker count. A live [metrics] registry charges the render to the
+    [merge] stage timer. *)
 
-val write_jsonl : string -> summary -> unit
+val write_jsonl : ?metrics:Obs.Registry.t -> string -> summary -> unit
 (** {!to_jsonl} into a file (truncates). *)
 
 val verdicts : summary -> (string * string * Verdict.t) list

@@ -18,15 +18,28 @@ type t = {
   coverage : Sctc.Coverage.t option;
 }
 
-let find result name =
-  match
-    List.find_opt (fun p -> String.equal p.property name) result.properties
-  with
-  | Some p -> p
-  | None -> raise Not_found
+let find_opt result name =
+  List.find_opt (fun p -> String.equal p.property name) result.properties
 
-let verdict result name = (find result name).verdict
-let first_final_at result name = (find result name).first_final_at
+let find caller result name =
+  match find_opt result name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Verif.Result.%s: unknown property %S (known: %s)" caller
+         name
+         (match List.map (fun p -> p.property) result.properties with
+         | [] -> "none"
+         | names -> String.concat ", " names))
+
+let verdict result name = (find "verdict" result name).verdict
+let first_final_at result name = (find "first_final_at" result name).first_final_at
+
+let verdict_opt result name =
+  Option.map (fun p -> p.verdict) (find_opt result name)
+
+let first_final_at_opt result name =
+  Option.bind (find_opt result name) (fun p -> p.first_final_at)
 
 let overall result =
   List.fold_left

@@ -1,4 +1,5 @@
 module Checker = Sctc.Checker
+module Registry = Obs.Registry
 module Flash = Dataflash.Flash
 module Flash_ctrl = Dataflash.Flash_ctrl
 module Map = Cpu.Memory_map
@@ -17,6 +18,7 @@ type config = {
   flash : Flash.config option;
   flag : string option;
   trace : Trace.t;
+  metrics : Registry.t;
 }
 
 let default_config =
@@ -32,6 +34,7 @@ let default_config =
     flash = None;
     flag = None;
     trace = Trace.null;
+    metrics = Registry.null;
   }
 
 type ref_state = {
@@ -53,6 +56,8 @@ type t = {
   config : config;
   runtime : runtime;
   chk : Checker.t;
+  sim_timer : Registry.Timer.t; (* stage_simulate_seconds *)
+  throughput : Registry.Gauge.t; (* backend time units per wall second *)
   mutable timer_started : float;
   mutable units_at_timer : int;
   mutable crash_reported : bool;
@@ -201,13 +206,14 @@ let run_reference session r =
   end
 
 let advance session =
-  (match session.runtime with
-  | Ref r -> run_reference session r
-  | Soc s -> Platform.Soc.run ~max_cycles:session.config.chunk s.soc
-  | Model m ->
-    Sim.Kernel.run
-      ~max_time:(Sim.Kernel.now m.kernel + session.config.chunk)
-      m.kernel);
+  Registry.Timer.time session.sim_timer (fun () ->
+      match session.runtime with
+      | Ref r -> run_reference session r
+      | Soc s -> Platform.Soc.run ~max_cycles:session.config.chunk s.soc
+      | Model m ->
+        Sim.Kernel.run
+          ~max_time:(Sim.Kernel.now m.kernel + session.config.chunk)
+          m.kernel);
   check_crash session
 
 let run ?bound session =
@@ -219,23 +225,25 @@ let run ?bound session =
       | Some b -> b
       | None -> session.config.fuel)
   in
-  (match session.runtime with
-  | Ref r -> run_reference session r
-  | Soc s ->
-    (* the SoC clock keeps ticking (and triggering the checker) after the
-       CPU halts, so consume the budget in chunks and stop on halt *)
-    let start = Platform.Soc.cycles s.soc in
-    let rec go () =
-      let used = Platform.Soc.cycles s.soc - start in
-      if (not (Platform.Soc.cpu_stopped s.soc)) && used < budget then begin
-        Platform.Soc.run ~max_cycles:(min session.config.chunk (budget - used))
-          s.soc;
+  Registry.Timer.time session.sim_timer (fun () ->
+      match session.runtime with
+      | Ref r -> run_reference session r
+      | Soc s ->
+        (* the SoC clock keeps ticking (and triggering the checker) after
+           the CPU halts, so consume the budget in chunks and stop on halt *)
+        let start = Platform.Soc.cycles s.soc in
+        let rec go () =
+          let used = Platform.Soc.cycles s.soc - start in
+          if (not (Platform.Soc.cpu_stopped s.soc)) && used < budget then begin
+            Platform.Soc.run
+              ~max_cycles:(min session.config.chunk (budget - used))
+              s.soc;
+            go ()
+          end
+        in
         go ()
-      end
-    in
-    go ()
-  | Model m ->
-    Sim.Kernel.run ~max_time:(Sim.Kernel.now m.kernel + budget) m.kernel);
+      | Model m ->
+        Sim.Kernel.run ~max_time:(Sim.Kernel.now m.kernel + budget) m.kernel);
   check_crash session
 
 let boot ?(attempts = 50) session =
@@ -265,6 +273,9 @@ let restart_timer session =
 let result ?test_cases ?(timeouts = 0) ?coverage session =
   let elapsed = Unix.gettimeofday () -. session.timer_started in
   let synthesis = Checker.synthesis_seconds session.chk in
+  let units = time_units session - session.units_at_timer in
+  if elapsed > 0.0 then
+    Registry.Gauge.set session.throughput (float_of_int units /. elapsed);
   {
     Result.backend = backend_name session;
     properties =
@@ -277,7 +288,7 @@ let result ?test_cases ?(timeouts = 0) ?coverage session =
           })
         (Checker.verdicts session.chk);
     triggers = Checker.steps session.chk;
-    time_units = time_units session - session.units_at_timer;
+    time_units = units;
     vt_seconds = elapsed +. synthesis;
     synthesis_seconds = synthesis;
     test_cases;
@@ -335,8 +346,16 @@ let build_model config derived =
   in
   (kernel, model, mbox)
 
+let backend_label = function
+  | Reference -> "reference"
+  | Soc_model -> "approach1"
+  | Derived_model -> "approach2"
+
 let create ?compiled ?derived ?info config backend =
-  let chk = Checker.create ~trace:config.trace ~name:config.session_name () in
+  let chk =
+    Checker.create ~trace:config.trace ~metrics:config.metrics
+      ~name:config.session_name ()
+  in
   let require_info what =
     match info with
     | Some info -> info
@@ -389,6 +408,11 @@ let create ?compiled ?derived ?info config backend =
       config;
       runtime;
       chk;
+      sim_timer = Registry.stage_timer config.metrics Registry.Simulate;
+      throughput =
+        Registry.gauge config.metrics "session_time_units_per_second"
+          ~labels:[ ("backend", backend_label backend) ]
+          ~help:"backend time units simulated per wall-clock second";
       timer_started = Unix.gettimeofday ();
       units_at_timer = 0;
       crash_reported = false;
@@ -408,6 +432,7 @@ let create ?compiled ?derived ?info config backend =
     config.propositions;
   List.iter
     (fun (name, text) ->
-      Checker.add_property_text ~engine:config.engine chk ~name text)
+      Checker.add_property_text ~engine:config.engine ~syntax:Checker.Auto chk
+        ~name text)
     config.properties;
   session

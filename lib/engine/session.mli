@@ -26,7 +26,9 @@ type backend = Reference | Soc_model | Derived_model
 type config = {
   session_name : string;  (** checker name, used in error messages *)
   engine : Sctc.Checker.engine;  (** for [config.properties] *)
-  properties : (string * string) list;  (** name, FLTL text *)
+  properties : (string * string) list;
+      (** name, property text — FLTL or PSL, auto-detected by
+          [Sctc.Prop] *)
   propositions : (string * string) list;
       (** name, pure boolean MiniC expression over the software's globals *)
   bound : int option;  (** default time-unit budget of {!run} *)
@@ -38,11 +40,16 @@ type config = {
       (** approach-1 only: attach the ESW monitor with this
           initialization-flag variable instead of a bare clock trigger *)
   trace : Trace.t;  (** event bus; {!Trace.null} disables tracing *)
+  metrics : Obs.Registry.t;
+      (** metrics registry threaded into the checker and the session's
+          stage timers; {!Obs.Registry.null} (the default) disables
+          recording at the cost of one boolean test per site *)
 }
 
 val default_config : config
 (** ["session"], on-the-fly engine, no properties, no bound, fuel 50e6,
-    chunk 60, seed 42, default flash, no flag, null trace. *)
+    chunk 60, seed 42, default flash, no flag, null trace, null metrics
+    registry. *)
 
 type t
 

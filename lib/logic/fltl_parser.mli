@@ -21,7 +21,10 @@
 exception Parse_error of string * Fltl_lexer.position
 
 val parse : string -> Formula.t
-(** @raise Parse_error and {!Fltl_lexer.Lex_error} on malformed input. *)
+(** @raise Parse_error and {!Fltl_lexer.Lex_error} on malformed input.
+    @deprecated New code should parse through [Sctc.Prop.parse] (or
+    [parse_exn] / [~syntax:`Fltl]), which unifies both syntaxes behind a
+    structured error. This entry remains as a thin wrapper. *)
 
 val parse_result : string -> (Formula.t, string) result
 (** Like {!parse}, with errors rendered as a message. *)

@@ -1,0 +1,411 @@
+(* Renderers are deliberately allocation-light and deterministic: the
+   same snapshot always renders to the same bytes (goldens in
+   test/test_obs.ml rely on this), so floats go through one canonical
+   formatter. *)
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* --- Prometheus text format ---------------------------------------------- *)
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (key, value) -> Printf.sprintf "%s=\"%s\"" key (escape value))
+           labels)
+    ^ "}"
+
+(* labels with one extra pair appended (the histogram [le]) *)
+let prom_labels_with labels extra = prom_labels (labels @ [ extra ])
+
+let prom_type = function
+  | Registry.Counter_value _ -> "counter"
+  | Registry.Gauge_value _ -> "gauge"
+  | Registry.Histogram_value _ -> "histogram"
+
+let prometheus registry =
+  let buffer = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (metric : Registry.metric) ->
+      if not (Hashtbl.mem seen metric.name) then begin
+        Hashtbl.add seen metric.name ();
+        if metric.help <> "" then
+          Buffer.add_string buffer
+            (Printf.sprintf "# HELP %s %s\n" metric.name metric.help);
+        Buffer.add_string buffer
+          (Printf.sprintf "# TYPE %s %s\n" metric.name
+             (prom_type metric.value))
+      end;
+      match metric.value with
+      | Registry.Counter_value n ->
+        Buffer.add_string buffer
+          (Printf.sprintf "%s%s %d\n" metric.name (prom_labels metric.labels) n)
+      | Registry.Gauge_value v ->
+        Buffer.add_string buffer
+          (Printf.sprintf "%s%s %s\n" metric.name (prom_labels metric.labels)
+             (render_float v))
+      | Registry.Histogram_value { count; sum; buckets } ->
+        List.iter
+          (fun (le, cumulative) ->
+            let le =
+              if Float.is_finite le then render_float le else "+Inf"
+            in
+            Buffer.add_string buffer
+              (Printf.sprintf "%s_bucket%s %d\n" metric.name
+                 (prom_labels_with metric.labels ("le", le))
+                 cumulative))
+          buckets;
+        Buffer.add_string buffer
+          (Printf.sprintf "%s_sum%s %s\n" metric.name
+             (prom_labels metric.labels) (render_float sum));
+        Buffer.add_string buffer
+          (Printf.sprintf "%s_count%s %d\n" metric.name
+             (prom_labels metric.labels) count))
+    (Registry.snapshot registry);
+  Buffer.contents buffer
+
+(* --- JSONL snapshot ------------------------------------------------------ *)
+
+let json_string s = "\"" ^ escape s ^ "\""
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (key, value) -> json_string key ^ ":" ^ json_string value)
+         labels)
+  ^ "}"
+
+let metric_to_json (metric : Registry.metric) =
+  let base =
+    Printf.sprintf "\"metric\":%s,\"type\":%s,\"labels\":%s"
+      (json_string metric.name)
+      (json_string (prom_type metric.value))
+      (json_labels metric.labels)
+  in
+  match metric.value with
+  | Registry.Counter_value n -> Printf.sprintf "{%s,\"value\":%d}" base n
+  | Registry.Gauge_value v ->
+    Printf.sprintf "{%s,\"value\":%s}" base (render_float v)
+  | Registry.Histogram_value { count; sum; buckets } ->
+    let buckets =
+      String.concat ","
+        (List.map
+           (fun (le, cumulative) ->
+             Printf.sprintf "{\"le\":%s,\"count\":%d}"
+               (if Float.is_finite le then render_float le
+                else json_string "+Inf")
+               cumulative)
+           buckets)
+    in
+    Printf.sprintf "{%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}" base count
+      (render_float sum) buckets
+
+let to_jsonl registry =
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun metric ->
+      Buffer.add_string buffer (metric_to_json metric);
+      Buffer.add_char buffer '\n')
+    (Registry.snapshot registry);
+  Buffer.contents buffer
+
+let write_jsonl path registry =
+  let oc = open_out_bin path in
+  output_string oc (to_jsonl registry);
+  close_out oc
+
+(* --- JSON reader --------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let error msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let literal word value =
+      let len = String.length word in
+      if !pos + len <= n && String.sub line !pos len = word then begin
+        pos := !pos + len;
+        value
+      end
+      else error "bad literal"
+    in
+    let parse_string () =
+      if !pos >= n || line.[!pos] <> '"' then error "expected '\"'";
+      incr pos;
+      let buffer = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then error "unterminated string"
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            if !pos >= n then error "dangling escape";
+            (match line.[!pos] with
+            | '"' -> Buffer.add_char buffer '"'
+            | '\\' -> Buffer.add_char buffer '\\'
+            | '/' -> Buffer.add_char buffer '/'
+            | 'n' -> Buffer.add_char buffer '\n'
+            | 'r' -> Buffer.add_char buffer '\r'
+            | 't' -> Buffer.add_char buffer '\t'
+            | 'b' -> Buffer.add_char buffer '\b'
+            | 'u' ->
+              if !pos + 4 >= n then error "short \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub line (!pos + 1) 4)
+                with _ -> error "bad \\u escape"
+              in
+              if code < 256 then Buffer.add_char buffer (Char.chr code)
+              else Buffer.add_char buffer '?';
+              pos := !pos + 4
+            | c -> error (Printf.sprintf "unknown escape \\%c" c));
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char buffer c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buffer
+    in
+    let parse_number () =
+      let start = !pos in
+      let numeral c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numeral line.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub line start (!pos - start)) with
+      | Some v -> v
+      | None -> error "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      if !pos >= n then error "missing value"
+      else
+        match line.[!pos] with
+        | '"' -> Str (parse_string ())
+        | 't' -> literal "true" (Bool true)
+        | 'f' -> literal "false" (Bool false)
+        | 'n' -> literal "null" Null
+        | '{' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && line.[!pos] = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let members = ref [] in
+            let rec member () =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              if !pos >= n || line.[!pos] <> ':' then error "expected ':'";
+              incr pos;
+              members := (key, parse_value ()) :: !members;
+              skip_ws ();
+              if !pos < n && line.[!pos] = ',' then begin
+                incr pos;
+                member ()
+              end
+              else if !pos < n && line.[!pos] = '}' then incr pos
+              else error "expected ',' or '}'"
+            in
+            member ();
+            Obj (List.rev !members)
+          end
+        | '[' ->
+          incr pos;
+          skip_ws ();
+          if !pos < n && line.[!pos] = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec item () =
+              items := parse_value () :: !items;
+              skip_ws ();
+              if !pos < n && line.[!pos] = ',' then begin
+                incr pos;
+                item ()
+              end
+              else if !pos < n && line.[!pos] = ']' then incr pos
+              else error "expected ',' or ']'"
+            in
+            item ();
+            Arr (List.rev !items)
+          end
+        | '-' | '0' .. '9' -> Num (parse_number ())
+        | c -> error (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let value = parse_value () in
+      skip_ws ();
+      if !pos <> n then error "trailing input";
+      value
+    with
+    | value -> Ok value
+    | exception Bad msg -> Error msg
+end
+
+(* --- schema validation --------------------------------------------------- *)
+
+let validate_snapshot_line line =
+  let ( let* ) = Result.bind in
+  let* json = Json.parse line in
+  let* members =
+    match json with
+    | Json.Obj members -> Ok members
+    | _ -> Error "metric line is not a JSON object"
+  in
+  let field key =
+    match List.assoc_opt key members with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing %S field" key)
+  in
+  let str key =
+    let* v = field key in
+    match v with
+    | Json.Str s -> Ok s
+    | _ -> Error (Printf.sprintf "%S must be a string" key)
+  in
+  let num key =
+    let* v = field key in
+    match v with
+    | Json.Num v -> Ok v
+    | _ -> Error (Printf.sprintf "%S must be a number" key)
+  in
+  let int key =
+    let* v = num key in
+    if Float.is_integer v && v >= 0.0 then Ok (int_of_float v)
+    else Error (Printf.sprintf "%S must be a non-negative integer" key)
+  in
+  let* name = str "metric" in
+  let* () = if name = "" then Error "empty metric name" else Ok () in
+  let* labels = field "labels" in
+  let* () =
+    match labels with
+    | Json.Obj members
+      when List.for_all
+             (fun (_, v) -> match v with Json.Str _ -> true | _ -> false)
+             members ->
+      Ok ()
+    | _ -> Error "\"labels\" must be an object of strings"
+  in
+  let* kind = str "type" in
+  match kind with
+  | "counter" ->
+    let* _ = int "value" in
+    Ok ()
+  | "gauge" ->
+    let* _ = num "value" in
+    Ok ()
+  | "histogram" ->
+    let* count = int "count" in
+    let* _ = num "sum" in
+    let* buckets = field "buckets" in
+    let* buckets =
+      match buckets with
+      | Json.Arr (_ :: _ as buckets) -> Ok buckets
+      | Json.Arr [] -> Error "histogram needs at least the +Inf bucket"
+      | _ -> Error "\"buckets\" must be an array"
+    in
+    let parse_bucket = function
+      | Json.Obj members -> (
+        match (List.assoc_opt "le" members, List.assoc_opt "count" members) with
+        | Some le, Some (Json.Num c) when Float.is_integer c && c >= 0.0 -> (
+          match le with
+          | Json.Num bound -> Ok (bound, int_of_float c)
+          | Json.Str "+Inf" -> Ok (infinity, int_of_float c)
+          | _ -> Error "bucket \"le\" must be a number or \"+Inf\"")
+        | _ -> Error "bucket needs \"le\" and an integer \"count\"")
+      | _ -> Error "bucket is not an object"
+    in
+    let rec walk previous_le previous_count = function
+      | [] -> Ok ()
+      | bucket :: rest ->
+        let* le, c = parse_bucket bucket in
+        if le <= previous_le then Error "bucket bounds must strictly increase"
+        else if c < previous_count then Error "bucket counts must be cumulative"
+        else if (not (Float.is_finite le)) && rest <> [] then
+          Error "only the last bucket may be +Inf"
+        else walk le c rest
+    in
+    let* () = walk neg_infinity 0 buckets in
+    let* last_le, last_count =
+      match List.rev buckets with
+      | last :: _ -> parse_bucket last
+      | [] -> Error "empty buckets"
+    in
+    if Float.is_finite last_le then Error "last bucket must be +Inf"
+    else if last_count <> count then
+      Error "last bucket count must equal \"count\""
+    else Ok ()
+  | other -> Error (Printf.sprintf "unknown metric type %S" other)
+
+let validate_snapshot_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let rec go line_no ok =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        if ok = 0 then Error "empty snapshot (no metric lines)" else Ok ok
+      | "" -> go (line_no + 1) ok
+      | line -> (
+        match validate_snapshot_line line with
+        | Ok () -> go (line_no + 1) (ok + 1)
+        | Error msg ->
+          close_in ic;
+          Error (Printf.sprintf "line %d: %s" line_no msg))
+    in
+    go 1 0

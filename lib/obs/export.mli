@@ -1,0 +1,51 @@
+(** Exporters for {!Registry} snapshots.
+
+    Two formats:
+
+    - {!prometheus}: the Prometheus text exposition format
+      ([# HELP]/[# TYPE] headers, [name{label="v"} value] samples,
+      histograms as cumulative [_bucket{le="..."}] series plus [_sum]
+      and [_count]).
+    - {!to_jsonl}: one JSON object per metric per line, the snapshot
+      schema consumed by [tcheck metrics] and the CI gate:
+      {v
+        {"metric":NAME,"type":"counter","labels":{...},"value":INT}
+        {"metric":NAME,"type":"gauge","labels":{...},"value":NUM}
+        {"metric":NAME,"type":"histogram","labels":{...},"count":INT,
+         "sum":NUM,"buckets":[{"le":NUM|"+Inf","count":INT},...]}
+      v}
+      Histogram bucket counts are cumulative; the last bucket has
+      [le = "+Inf"] and a count equal to the [count] field.
+
+    Both render the {!Registry.null} registry as the empty string. *)
+
+val prometheus : Registry.t -> string
+val to_jsonl : Registry.t -> string
+
+val write_jsonl : string -> Registry.t -> unit
+(** Write {!to_jsonl} to a file (truncating). *)
+
+(** {2 Snapshot validation} *)
+
+module Json : sig
+  (** A minimal JSON reader, enough to parse what {!to_jsonl} emits. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+end
+
+val validate_snapshot_line : string -> (unit, string) result
+(** Check one line against the JSONL snapshot schema above, including
+    the cumulative-bucket and terminal [+Inf] invariants. *)
+
+val validate_snapshot_file : string -> (int, string) result
+(** Validate every non-empty line of a snapshot file; [Ok n] is the
+    number of metrics seen. [Error] carries the first offending line
+    number and reason (also for an unreadable or empty file). *)

@@ -1,0 +1,330 @@
+(* lib/obs contract tests: histogram bucketing and quantiles, exact
+   counter totals under 4 concurrent domains, byte-golden exporter
+   output, the null registry's no-op guarantee, the JSONL snapshot
+   validator, and the engine integration (session + campaign metrics,
+   including that metering never perturbs the merged campaign trace). *)
+
+module Registry = Obs.Registry
+module Export = Obs.Export
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- histograms -------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 1.0; 2.0; 3.0 |] reg "h" in
+  List.iter (Registry.Histogram.observe h) [ 0.5; 1.0; 1.5; 2.5; 10.0 ];
+  check_int "count" 5 (Registry.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 15.5 (Registry.Histogram.sum h);
+  (* 1.0 lands in the first bucket: bounds are inclusive upper bounds *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "cumulative buckets"
+    [ (1.0, 2); (2.0, 3); (3.0, 4); (infinity, 5) ]
+    (Registry.Histogram.buckets h)
+
+let test_histogram_quantile () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 1.0; 2.0; 3.0 |] reg "h" in
+  check "empty quantile is 0" true (Registry.Histogram.quantile h 0.5 = 0.0);
+  List.iter (Registry.Histogram.observe h) [ 0.5; 1.5; 2.5; 10.0 ];
+  check "q=0 clamps to rank 1" true (Registry.Histogram.quantile h 0.0 = 1.0);
+  check "q=0.25" true (Registry.Histogram.quantile h 0.25 = 1.0);
+  check "q=0.5" true (Registry.Histogram.quantile h 0.5 = 2.0);
+  check "q=0.75" true (Registry.Histogram.quantile h 0.75 = 3.0);
+  check "q=1 in overflow" true (Registry.Histogram.quantile h 1.0 = infinity)
+
+let test_histogram_bad_buckets () =
+  let reg = Registry.create () in
+  check "non-increasing buckets rejected" true
+    (match Registry.histogram ~buckets:[| 1.0; 1.0 |] reg "bad" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- domain-safe recording --------------------------------------------- *)
+
+let test_concurrent_counters () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "stress_total" in
+  let h = Registry.histogram ~buckets:[| 0.5 |] reg "stress_seconds" in
+  let per_domain = 25_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Registry.Counter.incr c;
+      Registry.Counter.add c 2;
+      Registry.Histogram.observe h (if i mod 2 = 0 then 0.25 else 0.75)
+    done
+  in
+  let spawned = List.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join spawned;
+  (* all four domains recorded into private cells; totals are exact *)
+  check_int "counter total" (4 * per_domain * 3) (Registry.Counter.value c);
+  check_int "histogram count" (4 * per_domain) (Registry.Histogram.count h);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "histogram merge"
+    [ (0.5, 4 * per_domain / 2); (infinity, 4 * per_domain) ]
+    (Registry.Histogram.buckets h)
+
+(* ---- registration ------------------------------------------------------- *)
+
+let test_interning () =
+  let reg = Registry.create () in
+  let a = Registry.counter ~labels:[ ("op", "read"); ("approach", "2") ] reg "c" in
+  (* same name, same label set in another order: the same metric *)
+  let b = Registry.counter ~labels:[ ("approach", "2"); ("op", "read") ] reg "c" in
+  Registry.Counter.incr a;
+  Registry.Counter.incr b;
+  check_int "shared cell" 2 (Registry.Counter.value a);
+  check "kind mismatch rejected" true
+    (match Registry.gauge reg "c" ~labels:[ ("op", "read"); ("approach", "2") ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_int "one entry" 1 (List.length (Registry.snapshot reg))
+
+(* ---- exporters ---------------------------------------------------------- *)
+
+let golden_registry () =
+  let reg = Registry.create () in
+  let c =
+    Registry.counter ~help:"total requests" ~labels:[ ("op", "read") ] reg
+      "requests_total"
+  in
+  Registry.Counter.add c 3;
+  let g = Registry.gauge ~help:"water level" reg "level" in
+  Registry.Gauge.set g 1.5;
+  let h =
+    Registry.histogram ~help:"latency" ~buckets:[| 0.1; 1.0 |] reg
+      "latency_seconds"
+  in
+  List.iter (Registry.Histogram.observe h) [ 0.05; 0.5; 2.0 ];
+  reg
+
+let test_prometheus_golden () =
+  check_string "prometheus text"
+    "# HELP requests_total total requests\n\
+     # TYPE requests_total counter\n\
+     requests_total{op=\"read\"} 3\n\
+     # HELP level water level\n\
+     # TYPE level gauge\n\
+     level 1.5\n\
+     # HELP latency_seconds latency\n\
+     # TYPE latency_seconds histogram\n\
+     latency_seconds_bucket{le=\"0.1\"} 1\n\
+     latency_seconds_bucket{le=\"1\"} 2\n\
+     latency_seconds_bucket{le=\"+Inf\"} 3\n\
+     latency_seconds_sum 2.55\n\
+     latency_seconds_count 3\n"
+    (Export.prometheus (golden_registry ()))
+
+let test_jsonl_golden () =
+  check_string "jsonl snapshot"
+    "{\"metric\":\"requests_total\",\"type\":\"counter\",\"labels\":{\"op\":\"read\"},\"value\":3}\n\
+     {\"metric\":\"level\",\"type\":\"gauge\",\"labels\":{},\"value\":1.5}\n\
+     {\"metric\":\"latency_seconds\",\"type\":\"histogram\",\"labels\":{},\"count\":3,\"sum\":2.55,\"buckets\":[{\"le\":0.1,\"count\":1},{\"le\":1,\"count\":2},{\"le\":\"+Inf\",\"count\":3}]}\n"
+    (Export.to_jsonl (golden_registry ()))
+
+(* ---- the null registry --------------------------------------------------- *)
+
+let test_null_registry () =
+  let reg = Registry.null in
+  check "disabled" false (Registry.enabled reg);
+  let c = Registry.counter reg "c" in
+  Registry.Counter.incr c;
+  Registry.Counter.add c 10;
+  check_int "counter stays 0" 0 (Registry.Counter.value c);
+  let g = Registry.gauge reg "g" in
+  Registry.Gauge.set g 4.2;
+  check "gauge stays 0" true (Registry.Gauge.value g = 0.0);
+  let t = Registry.stage_timer reg Registry.Simulate in
+  let ran = ref false in
+  check_int "timer runs the thunk" 7
+    (Registry.Timer.time t (fun () -> ran := true; 7));
+  check "thunk ran" true !ran;
+  check "no time recorded" true (Registry.Timer.seconds t = 0.0);
+  check_int "empty snapshot" 0 (List.length (Registry.snapshot reg));
+  check_string "empty prometheus" "" (Export.prometheus reg);
+  check_string "empty jsonl" "" (Export.to_jsonl reg)
+
+(* ---- snapshot validation ------------------------------------------------- *)
+
+let test_validator_accepts_own_output () =
+  let reg = golden_registry () in
+  String.split_on_char '\n' (Export.to_jsonl reg)
+  |> List.filter (fun line -> line <> "")
+  |> List.iter (fun line ->
+         match Export.validate_snapshot_line line with
+         | Ok () -> ()
+         | Error msg -> Alcotest.failf "own output rejected: %s: %s" msg line);
+  let path = Filename.temp_file "obs" ".jsonl" in
+  Export.write_jsonl path reg;
+  (match Export.validate_snapshot_file path with
+  | Ok n -> check_int "file metric count" 3 n
+  | Error msg -> Alcotest.failf "own file rejected: %s" msg);
+  Sys.remove path
+
+let test_validator_rejects () =
+  let rejected line =
+    match Export.validate_snapshot_line line with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  check "not json" true (rejected "nonsense");
+  check "not an object" true (rejected "[1,2]");
+  check "missing type" true (rejected {|{"metric":"m","labels":{}}|});
+  check "unknown type" true
+    (rejected {|{"metric":"m","type":"summary","labels":{},"value":1}|});
+  check "non-string label" true
+    (rejected {|{"metric":"m","type":"counter","labels":{"a":1},"value":1}|});
+  check "negative counter" true
+    (rejected {|{"metric":"m","type":"counter","labels":{},"value":-1}|});
+  check "non-cumulative buckets" true
+    (rejected
+       {|{"metric":"m","type":"histogram","labels":{},"count":2,"sum":1,"buckets":[{"le":1,"count":2},{"le":"+Inf","count":1}]}|});
+  check "non-terminal +Inf" true
+    (rejected
+       {|{"metric":"m","type":"histogram","labels":{},"count":2,"sum":1,"buckets":[{"le":"+Inf","count":1},{"le":"+Inf","count":2}]}|});
+  check "missing +Inf" true
+    (rejected
+       {|{"metric":"m","type":"histogram","labels":{},"count":1,"sum":1,"buckets":[{"le":1,"count":1}]}|});
+  check "+Inf count mismatch" true
+    (rejected
+       {|{"metric":"m","type":"histogram","labels":{},"count":3,"sum":1,"buckets":[{"le":1,"count":1},{"le":"+Inf","count":2}]}|})
+
+(* ---- engine integration -------------------------------------------------- *)
+
+let source =
+  {|
+    int x;
+    int finished;
+
+    void main(void) {
+      int i;
+      for (i = 0; i < 8; i = i + 1) {
+        x = x + 1;
+      }
+      finished = 1;
+    }
+  |}
+
+let program_info = lazy (Minic.Typecheck.check (Minic.C_parser.parse source))
+
+let session_result metrics =
+  let config =
+    {
+      Verif.Session.default_config with
+      Verif.Session.session_name = "obs-test";
+      propositions = [ ("p_done", "finished == 1") ];
+      properties = [ ("eventually_done", "F p_done") ];
+      bound = Some 10_000;
+      metrics;
+    }
+  in
+  let session =
+    Verif.Session.create ~info:(Lazy.force program_info) config
+      Verif.Session.Reference
+  in
+  Verif.Session.run session;
+  Verif.Session.result session
+
+let test_session_metrics () =
+  let reg = Registry.create () in
+  let result = session_result reg in
+  check_int "triggers counted" result.Verif.Result.triggers
+    (Registry.total reg "sctc_triggers_total");
+  check "verdict transitions seen" true
+    (Registry.total reg "sctc_verdict_transitions_total" >= 1);
+  check "check latency recorded" true
+    (Registry.total reg "sctc_triggers_total"
+     = List.fold_left
+         (fun acc m ->
+           match m.Registry.value with
+           | Registry.Histogram_value { count; _ }
+             when m.Registry.name = Registry.stage_name Registry.Check ->
+             acc + count
+           | _ -> acc)
+         0 (Registry.snapshot reg));
+  check "simulate stage timed" true
+    (Registry.sum_seconds reg (Registry.stage_name Registry.Simulate) > 0.0);
+  check "parse stage counted" true
+    (Registry.sum_seconds reg (Registry.stage_name Registry.Parse) >= 0.0)
+
+let campaign_jobs () =
+  List.init 6 (fun i ->
+      Verif.Campaign.job ~label:(Printf.sprintf "job%d" i) (fun trace ->
+          let config =
+            {
+              Verif.Session.default_config with
+              Verif.Session.session_name = Printf.sprintf "job%d" i;
+              propositions = [ ("p_done", "finished == 1") ];
+              properties = [ ("eventually_done", "F p_done") ];
+              bound = Some 10_000;
+              trace;
+            }
+          in
+          let session =
+            Verif.Session.create ~info:(Lazy.force program_info) config
+              Verif.Session.Reference
+          in
+          Verif.Session.run session;
+          Verif.Session.result session))
+
+let test_campaign_metrics () =
+  let reg = Registry.create () in
+  let summary =
+    Verif.Campaign.run ~metrics:reg ~workers:4 ~chunk:1 (campaign_jobs ())
+  in
+  check_int "jobs counted" 6 (Registry.total reg "campaign_jobs_total");
+  check_int "no job errors" 0 (Registry.total reg "campaign_job_errors_total");
+  check "chunk claims" true
+    (Registry.total reg "campaign_chunk_claims_total" >= 6);
+  check "queue waits recorded" true
+    (List.exists
+       (fun m ->
+         m.Registry.name = "campaign_queue_wait_seconds"
+         &&
+         match m.Registry.value with
+         | Registry.Histogram_value { count; _ } -> count > 0
+         | _ -> false)
+       (Registry.snapshot reg));
+  (* metering must not perturb the deterministic merge *)
+  let plain = Verif.Campaign.run ~workers:1 (campaign_jobs ()) in
+  check_string "identical merged trace"
+    (Verif.Campaign.to_jsonl plain)
+    (Verif.Campaign.to_jsonl ~metrics:reg summary);
+  check "merge stage timed" true
+    (Registry.sum_seconds reg (Registry.stage_name Registry.Merge) >= 0.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "4-domain stress" `Quick test_concurrent_counters ]
+      );
+      ("interning", [ Alcotest.test_case "find-or-create" `Quick test_interning ]);
+      ( "export",
+        [
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+        ] );
+      ("null", [ Alcotest.test_case "no-op" `Quick test_null_registry ]);
+      ( "validate",
+        [
+          Alcotest.test_case "accepts own output" `Quick
+            test_validator_accepts_own_output;
+          Alcotest.test_case "rejects bad lines" `Quick test_validator_rejects;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "session records" `Quick test_session_metrics;
+          Alcotest.test_case "campaign records" `Quick test_campaign_metrics;
+        ] );
+    ]
