@@ -177,6 +177,18 @@ let run_fig8 () =
 (* ------------------------------------------------------------------ *)
 (* Parallel campaign: sequential vs pooled, recorded as a trajectory   *)
 
+(* stamp bench rows with the source revision, so BENCH_campaign.json
+   rows remain attributable as the trajectory grows *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
 let append_campaign_record record =
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_campaign.json"
@@ -263,10 +275,16 @@ let campaign_round ~plan ~sequential ~cores jobs_n =
   append_campaign_record
     (Json.obj
        [
+         ("table", Json.string "campaign");
          ("unix_time", Json.int (int_of_float (Unix.time ())));
+         ("git_rev", Json.string (Lazy.force git_rev));
          ("scale", Json.int !scale);
          ("jobs", Json.int pooled.Verif.Campaign.workers);
          ("cores", Json.int cores);
+         (* the parallel-speedup expectation only holds where the pool
+            could actually parallelize; single-core rows record it as
+            unexpected so trajectory readers skip them, as the gate does *)
+         ("speedup_expected", Json.bool (cores >= 2 && jobs_n > 1));
          ("ops", Json.int (List.length plan.Harness.ops));
          ("cases_per_op", Json.int plan.Harness.cases_per_op);
          ("seq_seconds", Json.float sequential.Verif.Campaign.wall_seconds);
@@ -367,6 +385,207 @@ let run_campaign_bench () =
   in
   Printf.printf "recorded in BENCH_campaign.json\n\n";
   ok && overhead_ok
+
+(* ------------------------------------------------------------------ *)
+(* Checker trigger path: compiled plan vs the pre-plan stepper         *)
+
+(* A faithful reimplementation of the trigger path as it was before the
+   compiled trigger plan: properties kept in a reversed list that is
+   [List.rev]ed on every trigger, one sampler closure per (monitor,
+   proposition) so shared propositions are probed once per monitor,
+   name resolution by linear string search, and uncached
+   [Progression.step]. This is the baseline the plan is measured
+   against — same formulas, same samplers, same stimulus. *)
+type legacy_property = {
+  l_name : string;
+  mutable l_current : Formula.t;
+  l_support : string array;
+  l_samplers : (unit -> bool) array;
+}
+
+let legacy_add samplers properties_rev ~name formula =
+  let support = Array.of_list (Formula.props formula) in
+  properties_rev :=
+    {
+      l_name = name;
+      l_current = formula;
+      l_support = support;
+      l_samplers =
+        Array.map (fun prop -> List.assoc prop samplers) support;
+    }
+    :: !properties_rev
+
+let legacy_step properties_rev =
+  List.iter
+    (fun p ->
+      if not (Verdict.is_final (Progression.verdict p.l_current)) then begin
+        let samples = Array.map (fun sampler -> sampler ()) p.l_samplers in
+        let valuation name =
+          let rec find i =
+            if i >= Array.length p.l_support then
+              invalid_arg ("legacy stepper: not in support: " ^ name)
+            else if String.equal p.l_support.(i) name then samples.(i)
+            else find (i + 1)
+          in
+          find 0
+        in
+        p.l_current <- Progression.step p.l_current valuation
+      end)
+    (List.rev !properties_rev)
+
+let legacy_verdicts properties_rev =
+  List.rev_map
+    (fun p -> (p.l_name, Progression.verdict p.l_current))
+    !properties_rev
+
+(* The EEE property set over a synthetic steady-state stimulus: each
+   operation is "called" on its own phase of a 97-tick cycle and
+   answered with its first legal return code 5 ticks later, so every
+   F[50] obligation is discharged in-window and no monitor ever
+   settles — the steady-state trigger regime of a passing campaign. *)
+let checker_bench_samplers tick =
+  List.concat_map
+    (fun op ->
+      let index = Spec.op_code op - 1 in
+      let called = 13 * index and answered = (13 * index) + 5 in
+      (Spec.called_prop op, fun () -> !tick mod 97 = called)
+      :: List.map
+           (fun code ->
+             ( Spec.return_prop op code,
+               if code = List.hd (Spec.expected_returns op) then
+                 fun () -> !tick mod 97 = answered
+               else fun () -> false ))
+           (Spec.expected_returns op))
+    Spec.all_ops
+
+let checker_property_texts =
+  List.map
+    (fun op -> (Spec.property_name op, Spec.property_text ~bound:50 op))
+    Spec.all_ops
+
+let time_triggers step count =
+  let started = Unix.gettimeofday () in
+  for _ = 1 to count do
+    step ()
+  done;
+  Unix.gettimeofday () -. started
+
+let run_checker_bench () =
+  print_endline "=========================================================";
+  Printf.printf
+    "Checker trigger path -- compiled plan vs pre-plan stepper (scale %d)\n"
+    !scale;
+  print_endline "=========================================================";
+  let triggers = 200_000 * !scale in
+  let warmup = 10_000 in
+  let build_checker engine =
+    let tick = ref 0 in
+    let checker = Checker.create ~name:"bench" () in
+    List.iter
+      (fun (name, sampler) -> Checker.register_sampler checker name sampler)
+      (checker_bench_samplers tick);
+    List.iter
+      (fun (name, text) -> Checker.add_property_text ~engine checker ~name text)
+      checker_property_texts;
+    let step () =
+      incr tick;
+      Checker.step checker
+    in
+    (checker, step)
+  in
+  let build_legacy () =
+    let tick = ref 0 in
+    let samplers = checker_bench_samplers tick in
+    let properties_rev = ref [] in
+    List.iter
+      (fun (name, text) ->
+        legacy_add samplers properties_rev ~name (Fltl_parser.parse text))
+      checker_property_texts;
+    let step () =
+      incr tick;
+      legacy_step properties_rev
+    in
+    (properties_rev, step)
+  in
+  (* correctness first: both steppers agree on every verdict, per step *)
+  let plan_checker, plan_probe = build_checker Checker.On_the_fly in
+  let legacy_props, legacy_probe = build_legacy () in
+  let agree = ref true in
+  for _ = 1 to 2_000 do
+    plan_probe ();
+    legacy_probe ();
+    if
+      List.map snd (Checker.verdicts plan_checker)
+      <> List.map snd (legacy_verdicts legacy_props)
+    then agree := false
+  done;
+  (* warm both paths (transition cache, allocator), then time *)
+  let _, legacy_step = build_legacy () in
+  let _, plan_step = build_checker Checker.On_the_fly in
+  let _, explicit_step = build_checker Checker.Explicit in
+  ignore (time_triggers legacy_step warmup);
+  ignore (time_triggers plan_step warmup);
+  ignore (time_triggers explicit_step warmup);
+  let legacy_seconds = time_triggers legacy_step triggers in
+  let cache_before = Transition_cache.stats () in
+  let plan_seconds = time_triggers plan_step triggers in
+  let cache_after = Transition_cache.stats () in
+  let explicit_seconds = time_triggers explicit_step triggers in
+  let tps seconds =
+    if seconds > 0.0 then float_of_int triggers /. seconds else 0.0
+  in
+  let legacy_tps = tps legacy_seconds
+  and plan_tps = tps plan_seconds
+  and explicit_tps = tps explicit_seconds in
+  let speedup = if legacy_tps > 0.0 then plan_tps /. legacy_tps else 0.0 in
+  let hits = cache_after.Transition_cache.hits - cache_before.Transition_cache.hits in
+  let misses =
+    cache_after.Transition_cache.misses - cache_before.Transition_cache.misses
+  in
+  let hit_rate =
+    if hits + misses > 0 then
+      float_of_int hits /. float_of_int (hits + misses)
+    else 0.0
+  in
+  Printf.printf "%d triggers, %d properties, %d propositions\n" triggers
+    (List.length checker_property_texts)
+    (List.length (Checker.proposition_names plan_checker));
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)\n"
+    "pre-plan stepper (on-the-fly)" legacy_tps legacy_seconds;
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)  speedup %.2fx\n"
+    "compiled plan (on-the-fly)" plan_tps plan_seconds speedup;
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)\n"
+    "compiled plan (explicit)" explicit_tps explicit_seconds;
+  Printf.printf
+    "  progression cache: %d hits, %d misses (steady-state hit rate %.4f)\n"
+    hits misses hit_rate;
+  Printf.printf "  per-step verdicts identical to reference: %b\n" !agree;
+  let module Json = Sctc.Trace.Json in
+  append_campaign_record
+    (Json.obj
+       [
+         ("table", Json.string "checker");
+         ("unix_time", Json.int (int_of_float (Unix.time ())));
+         ("git_rev", Json.string (Lazy.force git_rev));
+         ("scale", Json.int !scale);
+         ("triggers", Json.int triggers);
+         ("properties", Json.int (List.length checker_property_texts));
+         ( "propositions",
+           Json.int (List.length (Checker.proposition_names plan_checker)) );
+         ("legacy_tps", Json.float legacy_tps);
+         ("plan_tps", Json.float plan_tps);
+         ("explicit_tps", Json.float explicit_tps);
+         ("speedup", Json.float speedup);
+         ("prog_cache_hits", Json.int hits);
+         ("prog_cache_misses", Json.int misses);
+         ("prog_cache_hit_rate", Json.float hit_rate);
+         ("verdicts_identical", Json.bool !agree);
+       ]);
+  Printf.printf "recorded in BENCH_campaign.json\n\n";
+  (* the CI gate: verdict agreement must always hold; the throughput
+     bar is set below the documented steady-state speedup so a loaded
+     runner cannot flake it *)
+  !agree && speedup >= 2.0
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -590,12 +809,15 @@ let () =
   | "fig7" -> run_fig7 ()
   | "fig8" -> run_fig8 ()
   | "campaign" -> campaign_ok := run_campaign_bench ()
+  | "checker" -> campaign_ok := run_checker_bench ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro_suite ()
   | _ ->
     run_fig7 ();
     run_fig8 ();
     campaign_ok := run_campaign_bench ();
+    let checker_ok = run_checker_bench () in
+    campaign_ok := !campaign_ok && checker_ok;
     run_ablation ();
     if !run_micro then run_micro_suite ());
   print_endline "done.";

@@ -163,7 +163,7 @@ let cmd_automaton =
 (* --- verify ---------------------------------------------------------- *)
 
 let cmd_verify =
-  let action path approach properties props budget flag common =
+  let action path approach engine properties props budget flag common =
     let info = load path in
     let metrics = Tcheck_cli.registry common in
     let backend =
@@ -211,6 +211,7 @@ let cmd_verify =
             {
               Verif.Session.default_config with
               Verif.Session.session_name = "cli";
+              engine;
               properties = [ (name, text) ];
               propositions = props;
               bound = Some budget;
@@ -255,6 +256,21 @@ let cmd_verify =
     Arg.(value & opt int 2 & info [ "approach" ]
            ~doc:"0 = reference interpreter, 1 = microprocessor model, 2 = derived SystemC model")
   in
+  let engine =
+    let engines =
+      [
+        ("otf", Sctc.Checker.On_the_fly);
+        ("explicit", Sctc.Checker.Explicit);
+        ("il", Sctc.Checker.Via_il);
+      ]
+    in
+    Arg.(value & opt (enum engines) Sctc.Checker.On_the_fly
+           & info [ "engine" ] ~docv:"ENGINE"
+               ~doc:"Monitor synthesis engine: $(b,otf) (on-the-fly \
+                     progression with the lazy transition cache), \
+                     $(b,explicit) (pre-synthesized AR-automaton) or \
+                     $(b,il) (automaton via the IL representation)")
+  in
   let property =
     Arg.(value & opt_all string [] & info [ "property" ] ~docv:"PROPERTY"
            ~doc:"FLTL or PSL property over the declared propositions \
@@ -277,8 +293,8 @@ let cmd_verify =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
-    Term.(const action $ file_arg $ approach $ property $ props $ budget $ flag
-          $ Tcheck_cli.term ~default_seed:42)
+    Term.(const action $ file_arg $ approach $ engine $ property $ props
+          $ budget $ flag $ Tcheck_cli.term ~default_seed:42)
 
 let cmd_bmc =
   let action path unwind timeout =

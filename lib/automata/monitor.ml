@@ -1,5 +1,14 @@
+type formula_state = {
+  initial : Formula.t;
+  mutable node : Transition_cache.node; (* current residual obligation *)
+  mutable sel : int array; (* node props position -> monitor support slot *)
+  views : (int, Transition_cache.node * int array) Hashtbl.t;
+      (* residual formula id -> (node, sel); per-monitor, so cycles through
+         the reachable obligations re-derive the slot mapping once *)
+}
+
 type engine =
-  | Formula_engine of { initial : Formula.t; mutable current : Formula.t }
+  | Formula_engine of formula_state
   | Automaton_engine of { automaton : Ar_automaton.t; mutable state : int }
   | Il_engine of { il : Il.t; mutable state : int }
 
@@ -8,6 +17,7 @@ type t = {
   engine : engine;
   support : string array; (* proposition names, bitmask order for explicit *)
   samplers : (unit -> bool) array;
+  samples : bool array; (* scratch for the self-sampling [step] path *)
   mutable step_count : int;
   mutable last_verdict : Verdict.t;
 }
@@ -21,12 +31,13 @@ let make name engine support binding =
     engine;
     support;
     samplers = resolve_support ~binding support;
+    samples = Array.make (Array.length support) false;
     step_count = 0;
     last_verdict = Verdict.Pending;
   }
 
 let engine_verdict = function
-  | Formula_engine e -> Progression.verdict e.current
+  | Formula_engine e -> Progression.verdict (Transition_cache.formula e.node)
   | Automaton_engine e -> (
     match Ar_automaton.kind e.automaton e.state with
     | Ar_automaton.Accept -> Verdict.True
@@ -38,9 +49,36 @@ let engine_verdict = function
     | Il.Reject -> Verdict.False
     | Il.Pend -> Verdict.Pending)
 
+(* a residual obligation's support is a subset of the initial formula's,
+   so every node proposition resolves to a monitor support slot *)
+let slot_of_support support name =
+  let rec find i =
+    if i >= Array.length support then
+      invalid_arg ("Monitor: proposition not in support: " ^ name)
+    else if String.equal support.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let view_of support views formula =
+  match Hashtbl.find_opt views (Formula.hash formula) with
+  | Some view -> view
+  | None ->
+    let node = Transition_cache.node formula in
+    let sel =
+      Array.map (slot_of_support support) (Transition_cache.props node)
+    in
+    Hashtbl.replace views (Formula.hash formula) (node, sel);
+    (node, sel)
+
+let formula_state support formula =
+  let views = Hashtbl.create 16 in
+  let node, sel = view_of support views formula in
+  { initial = formula; node; sel; views }
+
 let of_formula ~name formula ~binding =
   let support = Array.of_list (Formula.props formula) in
-  let engine = Formula_engine { initial = formula; current = formula } in
+  let engine = Formula_engine (formula_state support formula) in
   let monitor = make name engine support binding in
   monitor.last_verdict <- engine_verdict engine;
   monitor
@@ -62,15 +100,44 @@ let of_il ~name il ~binding =
 let name monitor = monitor.m_name
 let verdict monitor = monitor.last_verdict
 let steps monitor = monitor.step_count
+let support monitor = Array.copy monitor.support
 
-(* Sample every supporting proposition exactly once per step. *)
-let sample_all monitor =
-  Array.map (fun sampler -> sampler ()) monitor.samplers
+(* All engines advance from a mask-indexed view of the current samples:
+   [read slot] is the sampled value of [support.(slot)]. The on-the-fly
+   engine masks only the residual's own support (canonical across
+   monitors, so cache nodes are shared) and memoizes the progression;
+   explicit engines build the automaton's full support mask. *)
+let advance monitor read =
+  match monitor.engine with
+  | Formula_engine e ->
+    let sel = e.sel in
+    let mask = ref 0 in
+    Array.iteri
+      (fun i slot -> if read slot then mask := !mask lor (1 lsl i))
+      sel;
+    let next = Transition_cache.step e.node !mask in
+    if not (Formula.equal next (Transition_cache.formula e.node)) then begin
+      let node, sel = view_of monitor.support e.views next in
+      e.node <- node;
+      e.sel <- sel
+    end
+  | Automaton_engine e ->
+    let mask = ref 0 in
+    for slot = 0 to Array.length monitor.support - 1 do
+      if read slot then mask := !mask lor (1 lsl slot)
+    done;
+    e.state <- Ar_automaton.next e.automaton e.state !mask
+  | Il_engine e ->
+    let mask = ref 0 in
+    for slot = 0 to Array.length monitor.support - 1 do
+      if read slot then mask := !mask lor (1 lsl slot)
+    done;
+    e.state <- Il.next e.il e.state !mask
 
-let mask_of_samples samples =
-  let mask = ref 0 in
-  Array.iteri (fun i value -> if value then mask := !mask lor (1 lsl i)) samples;
-  !mask
+let finish_step monitor =
+  monitor.step_count <- monitor.step_count + 1;
+  monitor.last_verdict <- engine_verdict monitor.engine;
+  monitor.last_verdict
 
 let step monitor =
   if Verdict.is_final monitor.last_verdict then begin
@@ -78,30 +145,27 @@ let step monitor =
     monitor.last_verdict
   end
   else begin
-    let samples = sample_all monitor in
-    (match monitor.engine with
-    | Formula_engine e ->
-      let valuation name =
-        let rec find i =
-          if i >= Array.length monitor.support then
-            invalid_arg ("Monitor: proposition not in support: " ^ name)
-          else if String.equal monitor.support.(i) name then samples.(i)
-          else find (i + 1)
-        in
-        find 0
-      in
-      e.current <- Progression.step e.current valuation
-    | Automaton_engine e ->
-      e.state <- Ar_automaton.next e.automaton e.state (mask_of_samples samples)
-    | Il_engine e -> e.state <- Il.next e.il e.state (mask_of_samples samples));
+    (* sample every supporting proposition exactly once for this step *)
+    let samples = monitor.samples in
+    Array.iteri (fun i sampler -> samples.(i) <- sampler ()) monitor.samplers;
+    advance monitor (fun slot -> samples.(slot));
+    finish_step monitor
+  end
+
+let step_indexed monitor ~samples ~map =
+  if Verdict.is_final monitor.last_verdict then begin
     monitor.step_count <- monitor.step_count + 1;
-    monitor.last_verdict <- engine_verdict monitor.engine;
     monitor.last_verdict
+  end
+  else begin
+    advance monitor (fun slot -> samples.(map.(slot)));
+    finish_step monitor
   end
 
 let finalize ?(strong = false) monitor =
   match monitor.engine with
-  | Formula_engine e -> Progression.finalize ~strong e.current
+  | Formula_engine e ->
+    Progression.finalize ~strong (Transition_cache.formula e.node)
   | Automaton_engine e ->
     Progression.finalize ~strong
       (Ar_automaton.state_formula e.automaton e.state)
@@ -109,7 +173,10 @@ let finalize ?(strong = false) monitor =
 
 let reset monitor =
   (match monitor.engine with
-  | Formula_engine e -> e.current <- e.initial
+  | Formula_engine e ->
+    let node, sel = view_of monitor.support e.views e.initial in
+    e.node <- node;
+    e.sel <- sel
   | Automaton_engine e -> e.state <- Ar_automaton.initial e.automaton
   | Il_engine e -> e.state <- e.il.Il.initial);
   monitor.step_count <- 0;

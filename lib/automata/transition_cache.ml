@@ -1,0 +1,109 @@
+let max_dense_props = 12
+let max_cached_props = 16
+
+type successors =
+  | Dense of Formula.t option array (* 2^k slots, mask-indexed *)
+  | Sparse of (int, Formula.t) Hashtbl.t
+  | Uncached (* support too wide to key on a mask *)
+
+type node = {
+  n_formula : Formula.t;
+  n_props : string array; (* sorted support of [n_formula] *)
+  n_succ : successors;
+}
+
+(* Per-domain state: the node table plus this domain's hit/miss cell.
+   Cells are registered process-wide (under a mutex, once per domain)
+   so [stats] can sum after worker domains have exited. *)
+
+type cell = { mutable hits : int; mutable misses : int; mutable nodes : int }
+
+let cell_registry : cell list ref = ref []
+let cell_registry_lock = Mutex.create ()
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      let cell = { hits = 0; misses = 0; nodes = 0 } in
+      Mutex.lock cell_registry_lock;
+      cell_registry := cell :: !cell_registry;
+      Mutex.unlock cell_registry_lock;
+      ((Hashtbl.create 64 : (int, node) Hashtbl.t), cell))
+
+let node formula =
+  let table, cell = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt table (Formula.hash formula) with
+  | Some node -> node
+  | None ->
+    let props = Array.of_list (Formula.props formula) in
+    let k = Array.length props in
+    let succ =
+      if k <= max_dense_props then Dense (Array.make (1 lsl k) None)
+      else if k <= max_cached_props then Sparse (Hashtbl.create 16)
+      else Uncached
+    in
+    let node = { n_formula = formula; n_props = props; n_succ = succ } in
+    cell.nodes <- cell.nodes + 1;
+    Hashtbl.replace table (Formula.hash formula) node;
+    node
+
+let formula node = node.n_formula
+let props node = node.n_props
+
+let valuation_of_mask node mask name =
+  let props = node.n_props in
+  let rec find i =
+    if i >= Array.length props then
+      invalid_arg ("Transition_cache: proposition not in support: " ^ name)
+    else if String.equal props.(i) name then mask land (1 lsl i) <> 0
+    else find (i + 1)
+  in
+  find 0
+
+let compute node mask = Progression.step node.n_formula (valuation_of_mask node mask)
+
+let step node mask =
+  let _, cell = Domain.DLS.get cache_key in
+  match node.n_succ with
+  | Dense slots -> (
+    match slots.(mask) with
+    | Some next ->
+      cell.hits <- cell.hits + 1;
+      next
+    | None ->
+      let next = compute node mask in
+      cell.misses <- cell.misses + 1;
+      slots.(mask) <- Some next;
+      next)
+  | Sparse table -> (
+    match Hashtbl.find_opt table mask with
+    | Some next ->
+      cell.hits <- cell.hits + 1;
+      next
+    | None ->
+      let next = compute node mask in
+      cell.misses <- cell.misses + 1;
+      Hashtbl.replace table mask next;
+      next)
+  | Uncached ->
+    cell.misses <- cell.misses + 1;
+    compute node mask
+
+let step_node n mask = node (step n mask)
+
+type stats = { hits : int; misses : int; nodes : int }
+
+let stats () =
+  let hits = ref 0 and misses = ref 0 and nodes = ref 0 in
+  Mutex.lock cell_registry_lock;
+  List.iter
+    (fun (cell : cell) ->
+      hits := !hits + cell.hits;
+      misses := !misses + cell.misses;
+      nodes := !nodes + cell.nodes)
+    !cell_registry;
+  Mutex.unlock cell_registry_lock;
+  { hits = !hits; misses = !misses; nodes = !nodes }
+
+let local_stats () =
+  let _, cell = Domain.DLS.get cache_key in
+  (cell.hits, cell.misses)

@@ -7,11 +7,35 @@ type property = {
   prop_name : string;
   formula : Formula.t;
   monitor : Monitor.t;
+  mutable p_map : int array; (* monitor support slot -> plan sample slot *)
   mutable violated_at : int option;
   mutable final_at : int option; (* time units, via the time source *)
   mutable traced_verdict : Verdict.t; (* last verdict published on the bus *)
   mutable traced_any : bool;
 }
+
+(* The compiled trigger plan: everything [step] needs, derived once per
+   [add_property]/[reset]/finality change instead of per trigger.
+
+   - [slot_props] is the union of the supports of the still-pending
+     properties, sorted by name: one shared probe per trigger feeds every
+     monitor, the [Trace.Sample] stream, and the stateful propositions
+     (which therefore advance exactly once per trigger, however many
+     properties share them).
+   - [samples] is the shared per-trigger sample vector the slots fill.
+   - [active] lists the property indices [step] must visit, in insertion
+     order: pending monitors, plus final ones whose verdict still has to
+     be published on the trace bus / transition counter. Monitors whose
+     verdict is final and published are skipped entirely. *)
+type plan = {
+  slot_names : string array;
+  slot_props : Proposition.t array;
+  samples : bool array;
+  active : int array;
+}
+
+let empty_plan =
+  { slot_names = [||]; slot_props = [||]; samples = [||]; active = [||] }
 
 (* metric handles, resolved once at creation; all are shared no-ops on
    [Registry.null], so the hot path pays one boolean test *)
@@ -22,12 +46,16 @@ type meters = {
   m_step_latency : Registry.Timer.t; (* per-trigger checker latency *)
   m_synthesize : Registry.Timer.t;
   m_parse : Registry.Timer.t;
+  m_prog_hits : Registry.Counter.t; (* progression transition cache *)
+  m_prog_misses : Registry.Counter.t;
 }
 
 type t = {
   c_name : string;
   table : Proposition.Table.table;
-  mutable properties : property list; (* reversed insertion order *)
+  mutable properties : property array; (* insertion order *)
+  mutable plan : plan;
+  mutable plan_stale : bool;
   mutable step_count : int;
   mutable synthesis_seconds : float;
   mutable violation_callbacks : (string -> int -> unit) list;
@@ -48,6 +76,12 @@ let make_meters metrics =
     m_step_latency = Registry.stage_timer metrics Registry.Check;
     m_synthesize = Registry.stage_timer metrics Registry.Synthesize;
     m_parse = Registry.stage_timer metrics Registry.Parse;
+    m_prog_hits =
+      Registry.counter metrics "sctc_progression_cache_hits_total"
+        ~help:"on-the-fly transitions served by the progression cache";
+    m_prog_misses =
+      Registry.counter metrics "sctc_progression_cache_misses_total"
+        ~help:"on-the-fly transitions that computed a fresh progression";
   }
 
 let create ?(trace = Trace.null) ?(metrics = Registry.null) ~name () =
@@ -55,7 +89,9 @@ let create ?(trace = Trace.null) ?(metrics = Registry.null) ~name () =
     {
       c_name = name;
       table = Proposition.Table.create ();
-      properties = [];
+      properties = [||];
+      plan = empty_plan;
+      plan_stale = false;
       step_count = 0;
       synthesis_seconds = 0.0;
       violation_callbacks = [];
@@ -69,7 +105,13 @@ let create ?(trace = Trace.null) ?(metrics = Registry.null) ~name () =
   checker
 
 let trace checker = checker.trace
-let set_trace checker trace = checker.trace <- trace
+
+let set_trace checker trace =
+  checker.trace <- trace;
+  (* a newly attached bus may owe Verdict_change events for properties
+     that settled while untraced; recompiling restores them to [active] *)
+  checker.plan_stale <- true
+
 let set_time_source checker source = checker.time_source <- source
 
 let name checker = checker.c_name
@@ -83,7 +125,7 @@ let register_sampler checker name sampler =
 let proposition_names checker = Proposition.Table.names checker.table
 
 let property_names checker =
-  List.rev_map (fun p -> p.prop_name) checker.properties
+  Array.fold_right (fun p acc -> p.prop_name :: acc) checker.properties []
 
 let check_support checker formula =
   List.iter
@@ -97,21 +139,72 @@ let check_support checker formula =
              prop_name))
     (Formula.props formula)
 
-(* name resolution used by the monitors, publishing every sample on the
-   trace bus when one is attached (one branch per sample otherwise) *)
-let traced_binding checker name =
-  let probe = Proposition.Table.binding checker.table name in
-  fun () ->
-    let value = probe () in
-    if Trace.enabled checker.trace then
-      Trace.emit checker.trace (Trace.Sample { prop = name; value });
-    value
+(* ------------------------------------------------------------------ *)
+(* Plan compilation                                                    *)
+
+(* does this property still owe a verdict publication on the current
+   trace bus / transition counter? *)
+let needs_publication checker property verdict =
+  (Trace.enabled checker.trace || checker.meters.metered)
+  && ((not property.traced_any)
+     || not (Verdict.equal verdict property.traced_verdict))
+
+let compile_plan checker =
+  let properties = checker.properties in
+  let visit = ref [] in
+  let support_set = Hashtbl.create 16 in
+  for i = Array.length properties - 1 downto 0 do
+    let property = properties.(i) in
+    let verdict = Monitor.verdict property.monitor in
+    if Verdict.is_final verdict then begin
+      (* no sampling, no stepping; visited once more only to publish *)
+      if needs_publication checker property verdict then visit := i :: !visit
+    end
+    else begin
+      visit := i :: !visit;
+      Array.iter
+        (fun name -> Hashtbl.replace support_set name ())
+        (Monitor.support property.monitor)
+    end
+  done;
+  let slot_names =
+    Hashtbl.fold (fun name () acc -> name :: acc) support_set []
+    |> List.sort String.compare |> Array.of_list
+  in
+  let slot_of = Hashtbl.create (Array.length slot_names) in
+  Array.iteri (fun slot name -> Hashtbl.replace slot_of name slot) slot_names;
+  List.iter
+    (fun i ->
+      let property = properties.(i) in
+      if not (Verdict.is_final (Monitor.verdict property.monitor)) then
+        property.p_map <-
+          Array.map
+            (fun name -> Hashtbl.find slot_of name)
+            (Monitor.support property.monitor))
+    !visit;
+  checker.plan <-
+    {
+      slot_names;
+      slot_props =
+        Array.map
+          (fun name -> Proposition.Table.find_exn checker.table name)
+          slot_names;
+      samples = Array.make (Array.length slot_names) false;
+      active = Array.of_list !visit;
+    };
+  checker.plan_stale <- false
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
 
 let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
-  if List.exists (fun p -> String.equal p.prop_name name) checker.properties
+  if
+    Array.exists
+      (fun p -> String.equal p.prop_name name)
+      checker.properties
   then invalid_arg (Printf.sprintf "Checker.add_property: duplicate %S" name);
   check_support checker formula;
-  let binding = traced_binding checker in
+  let binding = Proposition.Table.binding checker.table in
   (* explicit synthesis goes through the per-domain automaton cache;
      build time is charged to this checker only when the automaton was
      actually derived here, so a cache hit costs (and reports) nothing *)
@@ -136,16 +229,20 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
       Monitor.of_il ~name il ~binding
   in
   checker.properties <-
-    {
-      prop_name = name;
-      formula;
-      monitor;
-      violated_at = None;
-      final_at = None;
-      traced_verdict = Verdict.Pending;
-      traced_any = false;
-    }
-    :: checker.properties
+    Array.append checker.properties
+      [|
+        {
+          prop_name = name;
+          formula;
+          monitor;
+          p_map = [||];
+          violated_at = None;
+          final_at = None;
+          traced_verdict = Verdict.Pending;
+          traced_any = false;
+        };
+      |];
+  checker.plan_stale <- true
 
 let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
   let prop_syntax =
@@ -157,98 +254,146 @@ let add_property_text ?engine ?max_states ?(syntax = Fltl) checker ~name text =
   in
   add_property ?engine ?max_states checker ~name formula
 
+(* ------------------------------------------------------------------ *)
+(* The trigger hot path                                                *)
+
 let step_monitors checker =
+  if checker.plan_stale then compile_plan checker;
+  let plan = checker.plan in
   let tracing = Trace.enabled checker.trace in
   let metered = checker.meters.metered in
-  List.iter
-    (fun property ->
-      let before_final = Verdict.is_final (Monitor.verdict property.monitor) in
-      let verdict = Monitor.step property.monitor in
-      if (not before_final) && Verdict.is_final verdict
-         && property.final_at = None
-      then property.final_at <- Some (checker.time_source ());
-      if
-        (tracing || metered)
-        && ((not property.traced_any)
-           || not (Verdict.equal verdict property.traced_verdict))
-      then begin
-        property.traced_any <- true;
-        property.traced_verdict <- verdict;
-        if metered then Registry.Counter.incr checker.meters.m_transitions;
-        if tracing then
-          Trace.emit checker.trace
-            (Trace.Verdict_change { property = property.prop_name; verdict })
-      end;
-      if
-        (not before_final)
-        && Verdict.equal verdict Verdict.False
-        && property.violated_at = None
-      then begin
-        property.violated_at <- Some checker.step_count;
-        List.iter
-          (fun callback -> callback property.prop_name checker.step_count)
-          checker.violation_callbacks
-      end)
-    (List.rev checker.properties)
+  (* shared sample pass: every proposition in the pending properties'
+     support is probed exactly once per trigger, in sorted name order *)
+  let slots = Array.length plan.slot_props in
+  if tracing then
+    for i = 0 to slots - 1 do
+      let value = Proposition.is_true plan.slot_props.(i) in
+      plan.samples.(i) <- value;
+      Trace.emit checker.trace
+        (Trace.Sample { prop = plan.slot_names.(i); value })
+    done
+  else
+    for i = 0 to slots - 1 do
+      plan.samples.(i) <- Proposition.is_true plan.slot_props.(i)
+    done;
+  let samples = plan.samples in
+  let active = plan.active in
+  for k = 0 to Array.length active - 1 do
+    let property = checker.properties.(active.(k)) in
+    let before_final = Verdict.is_final (Monitor.verdict property.monitor) in
+    let verdict =
+      if before_final then Monitor.verdict property.monitor
+      else Monitor.step_indexed property.monitor ~samples ~map:property.p_map
+    in
+    if (not before_final) && Verdict.is_final verdict then begin
+      if property.final_at = None then
+        property.final_at <- Some (checker.time_source ());
+      (* drop the settled monitor from the active set at the next trigger *)
+      checker.plan_stale <- true
+    end;
+    if
+      (tracing || metered)
+      && ((not property.traced_any)
+         || not (Verdict.equal verdict property.traced_verdict))
+    then begin
+      property.traced_any <- true;
+      property.traced_verdict <- verdict;
+      if metered then Registry.Counter.incr checker.meters.m_transitions;
+      if tracing then
+        Trace.emit checker.trace
+          (Trace.Verdict_change { property = property.prop_name; verdict });
+      if before_final then
+        (* a final verdict published late (e.g. a bus attached after the
+           monitor settled): nothing left to publish, drop it next time *)
+        checker.plan_stale <- true
+    end;
+    if
+      (not before_final)
+      && Verdict.equal verdict Verdict.False
+      && property.violated_at = None
+    then begin
+      property.violated_at <- Some checker.step_count;
+      List.iter
+        (fun callback -> callback property.prop_name checker.step_count)
+        checker.violation_callbacks
+    end
+  done
 
-(* one trigger; when metered, stamp the per-trigger latency histogram *)
+(* one trigger; when metered, stamp the per-trigger latency histogram
+   and the progression-cache counters (per-domain, lock-free deltas) *)
 let step checker =
   checker.step_count <- checker.step_count + 1;
   if checker.meters.metered then begin
+    let hits0, misses0 = Transition_cache.local_stats () in
     let started = Unix.gettimeofday () in
     step_monitors checker;
     Registry.Timer.observe checker.meters.m_step_latency
       (Unix.gettimeofday () -. started);
+    let hits1, misses1 = Transition_cache.local_stats () in
+    Registry.Counter.add checker.meters.m_prog_hits (hits1 - hits0);
+    Registry.Counter.add checker.meters.m_prog_misses (misses1 - misses0);
     Registry.Counter.incr checker.meters.m_triggers
   end
   else step_monitors checker
 
+let trigger checker =
+  if Trace.enabled checker.trace then Trace.emit checker.trace Trace.Trigger;
+  step checker
+
 let steps checker = checker.step_count
+
+let active_properties checker =
+  if checker.plan_stale then compile_plan checker;
+  Array.length checker.plan.active
+
+let sampled_propositions checker =
+  if checker.plan_stale then compile_plan checker;
+  Array.to_list checker.plan.slot_names
+
+(* ------------------------------------------------------------------ *)
+(* Verdict observers                                                   *)
 
 let unknown_property checker caller name =
   invalid_arg
     (Printf.sprintf "Checker.%s(%s): unknown property %S (known: %s)" caller
        checker.c_name name
-       (match List.rev_map (fun p -> p.prop_name) checker.properties with
+       (match property_names checker with
        | [] -> "none"
        | names -> String.concat ", " names))
 
+let find_property checker name =
+  Array.find_opt
+    (fun p -> String.equal p.prop_name name)
+    checker.properties
+
 let verdict checker name =
-  match
-    List.find_opt
-      (fun p -> String.equal p.prop_name name)
-      checker.properties
-  with
+  match find_property checker name with
   | Some property -> Monitor.verdict property.monitor
   | None -> unknown_property checker "verdict" name
 
 let verdicts checker =
-  List.rev_map
-    (fun p -> (p.prop_name, Monitor.verdict p.monitor))
-    checker.properties
+  Array.fold_right
+    (fun p acc -> (p.prop_name, Monitor.verdict p.monitor) :: acc)
+    checker.properties []
 
 let overall checker =
-  List.fold_left
+  Array.fold_left
     (fun acc p -> Verdict.combine acc (Monitor.verdict p.monitor))
     Verdict.True checker.properties
 
 let finalize ?strong checker =
-  List.rev_map
-    (fun p -> (p.prop_name, Monitor.finalize ?strong p.monitor))
-    checker.properties
+  Array.fold_right
+    (fun p acc -> (p.prop_name, Monitor.finalize ?strong p.monitor) :: acc)
+    checker.properties []
 
 let first_final_at checker name =
-  match
-    List.find_opt
-      (fun p -> String.equal p.prop_name name)
-      checker.properties
-  with
+  match find_property checker name with
   | Some property -> property.final_at
   | None -> unknown_property checker "first_final_at" name
 
 let reset checker =
   checker.step_count <- 0;
-  List.iter
+  Array.iter
     (fun p ->
       Monitor.reset p.monitor;
       p.violated_at <- None;
@@ -259,7 +404,8 @@ let reset checker =
   List.iter
     (fun prop_name ->
       Proposition.reset (Proposition.Table.find_exn checker.table prop_name))
-    (Proposition.Table.names checker.table)
+    (Proposition.Table.names checker.table);
+  checker.plan_stale <- true
 
 let synthesis_seconds checker = checker.synthesis_seconds
 

@@ -4,9 +4,19 @@
     verification), a set of temporal properties, and one executable monitor
     per property. Each call to {!step} is one trigger of the checker — the
     paper triggers it on the microprocessor clock (approach 1) or on the
-    program-counter event of the derived software model (approach 2). On
-    every trigger all registered propositions in the properties' support are
-    sampled once and every monitor advances its AR-automaton.
+    program-counter event of the derived software model (approach 2).
+
+    The trigger hot path runs over a {e compiled trigger plan}, rebuilt
+    lazily whenever the property set, the trace bus or a monitor's
+    finality changes: every proposition in the pending properties'
+    support is probed exactly once per trigger into a shared sample
+    vector (in sorted name order, each probe published as one
+    [Trace.Sample] event), monitors read that vector through precomputed
+    integer slot maps ({!Monitor.step_indexed}), and monitors whose
+    verdict is final — and published — are skipped entirely. On-the-fly
+    monitors additionally memoize progression through
+    [Transition_cache], so steady-state triggers cost one table lookup
+    per property.
 
     Properties can be given as {!Formula.t} values or as PSL / FLTL text;
     the synthesis engine is selectable per property: on-the-fly progression,
@@ -28,9 +38,12 @@ val create :
 (** [trace] defaults to {!Trace.null} (no events published); [metrics]
     defaults to {!Obs.Registry.null} (no-op handles, one boolean test on
     the hot path). With a live registry the checker records
-    [sctc_triggers_total], [sctc_verdict_transitions_total], per-trigger
-    latency under the [check] stage timer, and charges property parsing
-    and explicit synthesis to the [parse] / [synthesize] stage timers. *)
+    [sctc_triggers_total], [sctc_verdict_transitions_total],
+    [sctc_progression_cache_hits_total] /
+    [sctc_progression_cache_misses_total] (the on-the-fly transition
+    cache), per-trigger latency under the [check] stage timer, and
+    charges property parsing and explicit synthesis to the [parse] /
+    [synthesize] stage timers. *)
 
 val name : t -> string
 
@@ -81,7 +94,21 @@ val property_names : t -> string list
 val step : t -> unit
 (** One trigger: advance every monitor by one observation step. *)
 
+val trigger : t -> unit
+(** One trigger, publishing the [Trace.Trigger] event first — what the
+    simulation trigger loops ({!Trigger}, the session backends) call. *)
+
 val steps : t -> int
+
+val active_properties : t -> int
+(** Properties the next trigger will visit: pending monitors plus final
+    ones whose verdict is still unpublished on the trace bus. Settled,
+    published properties are skipped by the trigger plan. *)
+
+val sampled_propositions : t -> string list
+(** The shared sample vector of the next trigger, in probe (sorted name)
+    order: the union of the pending properties' supports. Propositions
+    supporting only settled properties are no longer probed. *)
 
 val verdict : t -> string -> Verdict.t
 (** Current verdict of a property.

@@ -3,17 +3,12 @@ let emit_armed checker ~source =
   if Trace.enabled trace then
     Trace.emit trace (Trace.Handshake_armed { source })
 
-let emit_trigger checker =
-  let trace = Checker.trace checker in
-  if Trace.enabled trace then Trace.emit trace Trace.Trigger
-
 let on_event kernel event checker =
   let body () =
     emit_armed checker ~source:(Sim.Kernel.event_name event);
     let rec loop () =
       Sim.Kernel.wait_event event;
-      emit_trigger checker;
-      Checker.step checker;
+      Checker.trigger checker;
       loop ()
     in
     loop ()
@@ -33,8 +28,7 @@ let on_event_when kernel event ~ready checker =
        (including the one that flipped [ready]) *)
     emit_armed checker ~source:(Sim.Kernel.event_name event);
     let rec loop () =
-      emit_trigger checker;
-      Checker.step checker;
+      Checker.trigger checker;
       Sim.Kernel.wait_event event;
       loop ()
     in

@@ -181,10 +181,7 @@ let run_reference session r =
     let trace = session.config.trace in
     if Trace.enabled trace then
       Trace.emit trace (Trace.Handshake_armed { source = "interpreter" });
-    let step () =
-      if Trace.enabled trace then Trace.emit trace Trace.Trigger;
-      Checker.step session.chk
-    in
+    let step () = Checker.trigger session.chk in
     let hooks =
       {
         (Minic.Interp.default_hooks ()) with

@@ -23,9 +23,7 @@ let attach_at soc ~flag_address chk =
         (Sctc.Trace.Handshake_armed { source = "esw_monitor" });
     (* monitor the temporal properties on every clock edge *)
     let rec monitor_loop () =
-      if Sctc.Trace.enabled trace then
-        Sctc.Trace.emit trace Sctc.Trace.Trigger;
-      Sctc.Checker.step chk;
+      Sctc.Checker.trigger chk;
       Sim.Clock.wait_posedge clock;
       monitor_loop ()
     in
