@@ -588,6 +588,149 @@ let run_checker_bench () =
   !agree && speedup >= 2.0
 
 (* ------------------------------------------------------------------ *)
+(* Simulate: bytecode VM vs tree-walking interpreter on the EEE model  *)
+
+(* Raw execution throughput of one backend on the derived EEE software
+   model: per round, repeated fixed-fuel runs with the default hooks
+   (fully deterministic, identical on both backends) until [target]
+   statements have been executed; the best of three rounds is reported,
+   so a loaded runner degrades both backends instead of flaking the
+   ratio. Returns the resolved backend name so the row records what
+   actually ran. *)
+let exec_throughput ~target backend =
+  let info = (Eee.Eee_program.derive ()).Esw.C2sc.model_info in
+  let exec = Minic.Exec.create ~backend info in
+  let hooks = Minic.Exec.default_hooks () in
+  (* warm-up: touch the code path (and the VM's frames) before timing *)
+  ignore (Minic.Exec.run ~fuel:20_000 ~hooks exec ~entry:"main");
+  let round () =
+    let statements = ref 0 and seconds = ref 0.0 in
+    while !statements < target do
+      Minic.Exec.reset exec;
+      let started = Unix.gettimeofday () in
+      ignore (Minic.Exec.run ~fuel:target ~hooks exec ~entry:"main");
+      seconds := !seconds +. (Unix.gettimeofday () -. started);
+      statements := !statements + Minic.Exec.statements_executed exec
+    done;
+    (!statements, !seconds)
+  in
+  let best =
+    List.fold_left
+      (fun acc () ->
+        let statements, seconds = round () in
+        match acc with
+        | Some (_, s, st) when float_of_int st /. s
+                               >= float_of_int statements /. seconds ->
+          acc
+        | _ -> Some (Minic.Exec.kind_name exec, seconds, statements))
+      None
+      [ (); (); () ]
+  in
+  match best with
+  | Some (kind, seconds, statements) -> (kind, statements, seconds)
+  | None -> assert false
+
+(* One full (small) EEE campaign per backend: same plan, same seed, only
+   [plan.backend] differs. The determinism contract across backends is
+   that verdicts and the merged golden trace are byte-identical. *)
+let simulate_campaign backend =
+  let metrics = Registry.create () in
+  let plan =
+    {
+      Harness.default_plan with
+      Harness.ops = Spec.all_ops;
+      approaches = [ 2 ];
+      cases_per_op = 10 * !scale;
+      bound = Some 2000;
+      fault_rate = 0.03;
+      seed = 29;
+      backend;
+      metrics;
+    }
+  in
+  let summary = Harness.run_campaign ~workers:1 plan in
+  (summary, metrics)
+
+let run_simulate_bench () =
+  print_endline "=========================================================";
+  Printf.printf
+    "Simulate -- bytecode VM vs reference interpreter on the EEE model \
+     (scale %d)\n"
+    !scale;
+  print_endline "=========================================================";
+  let target = 2_000_000 * !scale in
+  let interp_kind, interp_statements, interp_seconds =
+    exec_throughput ~target Minic.Exec.Interp
+  in
+  let vm_kind, vm_statements, vm_seconds =
+    exec_throughput ~target Minic.Exec.Vm
+  in
+  let sps statements seconds =
+    if seconds > 0.0 then float_of_int statements /. seconds else 0.0
+  in
+  let interp_sps = sps interp_statements interp_seconds
+  and vm_sps = sps vm_statements vm_seconds in
+  let speedup = if interp_sps > 0.0 then vm_sps /. interp_sps else 0.0 in
+  Printf.printf "  %-28s %12.0f statements/s  (%d statements, %.3fs)\n"
+    ("interpreter (" ^ interp_kind ^ ")")
+    interp_sps interp_statements interp_seconds;
+  Printf.printf
+    "  %-28s %12.0f statements/s  (%d statements, %.3fs)  speedup %.2fx\n"
+    ("bytecode VM (" ^ vm_kind ^ ")")
+    vm_sps vm_statements vm_seconds speedup;
+  (* determinism contract: one small campaign per backend, only
+     [plan.backend] differing — verdicts and golden JSONL must match *)
+  let interp_summary, interp_metrics = simulate_campaign Minic.Exec.Interp in
+  let vm_summary, vm_metrics = simulate_campaign Minic.Exec.Vm in
+  let verdicts_identical =
+    Verif.Campaign.verdicts interp_summary = Verif.Campaign.verdicts vm_summary
+  in
+  let jsonl_identical =
+    String.equal
+      (Verif.Campaign.to_jsonl interp_summary)
+      (Verif.Campaign.to_jsonl vm_summary)
+  in
+  let interp_sim_statements =
+    Registry.total interp_metrics "sim_interp_statements_total"
+  and vm_sim_statements = Registry.total vm_metrics "sim_vm_statements_total" in
+  Printf.printf
+    "  campaign identity: verdicts %b, merged JSONL %b (sim_interp %d / \
+     sim_vm %d statements via lib/obs)\n"
+    verdicts_identical jsonl_identical interp_sim_statements vm_sim_statements;
+  let cores = Domain.recommended_domain_count () in
+  let module Json = Sctc.Trace.Json in
+  append_campaign_record
+    (Json.obj
+       [
+         ("table", Json.string "simulate");
+         ("unix_time", Json.int (int_of_float (Unix.time ())));
+         ("git_rev", Json.string (Lazy.force git_rev));
+         ("scale", Json.int !scale);
+         ("jobs", Json.int 1);
+         ("cores", Json.int cores);
+         (* VM-vs-interpreter is single-threaded: the expectation holds
+            on any core count, unlike the campaign table's pool rows *)
+         ("speedup_expected", Json.bool true);
+         ("target_statements", Json.int target);
+         ("interp_statements", Json.int interp_statements);
+         ("interp_seconds", Json.float interp_seconds);
+         ("interp_sps", Json.float interp_sps);
+         ("vm_statements", Json.int vm_statements);
+         ("vm_seconds", Json.float vm_seconds);
+         ("vm_sps", Json.float vm_sps);
+         ("speedup", Json.float speedup);
+         ("verdicts_identical", Json.bool verdicts_identical);
+         ("jsonl_identical", Json.bool jsonl_identical);
+         ("sim_interp_statements_total", Json.int interp_sim_statements);
+         ("sim_vm_statements_total", Json.int vm_sim_statements);
+       ]);
+  Printf.printf "recorded in BENCH_campaign.json\n\n";
+  (* the CI gate: cross-backend identity must always hold; the
+     throughput bar is set below the documented steady-state speedup so
+     a loaded runner cannot flake it *)
+  verdicts_identical && jsonl_identical && speedup >= 2.0
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let run_ablation () =
@@ -730,23 +873,23 @@ let micro_tests () =
     Test.make ~name:"bmc: CDCL pigeonhole(4,3)"
       (Staged.stage (fun () -> ignore (Sat.solve ~num_vars:12 clauses)))
   in
-  let interp_bench =
+  let exec_bench backend name =
     let info =
       Minic.Typecheck.check
         (Minic.C_parser.parse
            "int g; int main(void) { int i; for (i = 0; i < 100; i++) { g += i; } return g; }")
     in
-    Test.make ~name:"minic: interpret 100-iter loop"
+    Test.make ~name
       (Staged.stage (fun () ->
-           let env = Minic.Interp.create info in
-           ignore
-             (Minic.Interp.run env
-                (Minic.Interp.default_hooks ())
-                ~entry:"main")))
+           let exec = Minic.Exec.create ~backend info in
+           ignore (Minic.Exec.run exec ~entry:"main")))
   in
+  let interp_bench =
+    exec_bench Minic.Exec.Interp "minic: interpret 100-iter loop"
+  and vm_bench = exec_bench Minic.Exec.Vm "minic: VM 100-iter loop" in
   [
     kernel_bench; progression_bench; monitor_bench; cpu_bench; fm_bench;
-    sat_bench; interp_bench;
+    sat_bench; interp_bench; vm_bench;
   ]
 
 let run_micro_suite () =
@@ -810,6 +953,7 @@ let () =
   | "fig8" -> run_fig8 ()
   | "campaign" -> campaign_ok := run_campaign_bench ()
   | "checker" -> campaign_ok := run_checker_bench ()
+  | "simulate" -> campaign_ok := run_simulate_bench ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro_suite ()
   | _ ->
@@ -817,7 +961,8 @@ let () =
     run_fig8 ();
     campaign_ok := run_campaign_bench ();
     let checker_ok = run_checker_bench () in
-    campaign_ok := !campaign_ok && checker_ok;
+    let simulate_ok = run_simulate_bench () in
+    campaign_ok := !campaign_ok && checker_ok && simulate_ok;
     run_ablation ();
     if !run_micro then run_micro_suite ());
   print_endline "done.";

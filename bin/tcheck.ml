@@ -58,24 +58,23 @@ let cmd_parse =
     Term.(const action $ file_arg)
 
 let cmd_run =
-  let action path fuel =
+  let action path fuel backend =
     let info = load path in
-    let env = Minic.Interp.create info in
-    match
-      Minic.Interp.run ~fuel env (Minic.Interp.default_hooks ()) ~entry:"main"
-    with
-    | Minic.Interp.Finished v ->
-      Printf.printf "finished: %s (%d statements)\n"
+    let exec = Minic.Exec.create ~backend info in
+    match Minic.Exec.run ~fuel exec ~entry:"main" with
+    | Minic.Exec.Finished v ->
+      Printf.printf "finished: %s (%d statements, %s backend)\n"
         (match v with Some v -> string_of_int v | None -> "void")
-        (Minic.Interp.statements_executed env);
+        (Minic.Exec.statements_executed exec)
+        (Minic.Exec.kind_name exec);
       0
-    | Minic.Interp.Halted ->
+    | Minic.Exec.Halted ->
       print_endline "halted";
       0
-    | Minic.Interp.Fuel_exhausted ->
+    | Minic.Exec.Fuel_exhausted ->
       print_endline "fuel exhausted";
       1
-    | exception Minic.Interp.Assertion_failed pos ->
+    | exception Minic.Exec.Assertion_failed pos ->
       Printf.printf "assertion failed at %d:%d\n" pos.Minic.Ast.line
         pos.Minic.Ast.column;
       1
@@ -83,8 +82,13 @@ let cmd_run =
   let fuel =
     Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Statement budget")
   in
-  Cmd.v (Cmd.info "run" ~doc:"Execute on the reference interpreter")
-    Term.(const action $ file_arg $ fuel)
+  let backend =
+    Arg.(value & opt Tcheck_cli.backend_conv Minic.Exec.Auto
+           & info [ "backend" ] ~docv:"BACKEND"
+               ~doc:"Execution backend: $(b,interp), $(b,vm) or $(b,auto)")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute on the reference MiniC backend")
+    Term.(const action $ file_arg $ fuel $ backend)
 
 let cmd_compile =
   let action path show_asm =
@@ -217,6 +221,7 @@ let cmd_verify =
               bound = Some budget;
               seed = common.Tcheck_cli.seed;
               flag;
+              exec_backend = common.Tcheck_cli.backend;
               trace;
               metrics;
             }
@@ -387,6 +392,7 @@ let cmd_eee =
         bound;
         fault_rate;
         seed = common.Tcheck_cli.seed;
+        backend = common.Tcheck_cli.backend;
         metrics;
       }
     in

@@ -10,9 +10,19 @@ type common = {
   jobs : int;
   chunk : int option;
   seed : int;
+  backend : Minic.Exec.kind;
   trace_file : string option;
   metrics_file : string option;
 }
+
+let backend_conv =
+  let parse s =
+    match Minic.Exec.of_string s with
+    | Some kind -> Ok kind
+    | None -> Error (`Msg "expected 'interp', 'vm' or 'auto'")
+  in
+  Cmdliner.Arg.conv
+    (parse, fun fmt kind -> Format.pp_print_string fmt (Minic.Exec.to_string kind))
 
 let prop_conv =
   let parse s =
@@ -51,10 +61,20 @@ let term ~default_seed =
                  (lib/obs) during the run and write the snapshot as JSONL \
                  to this file; validate it with $(b,tcheck metrics)")
   in
-  let combine jobs chunk seed trace_file metrics_file =
-    { jobs; chunk; seed; trace_file; metrics_file }
+  let backend =
+    Arg.(value & opt backend_conv Minic.Exec.Auto & info [ "backend" ]
+           ~docv:"BACKEND"
+           ~doc:"MiniC execution backend for the reference and \
+                 derived-model runtimes: $(b,interp) (tree-walking \
+                 reference interpreter), $(b,vm) (bytecode VM) or \
+                 $(b,auto) (VM with interpreter fallback; the default). \
+                 Verdicts and traces are identical across backends")
   in
-  Term.(const combine $ jobs $ chunk $ seed $ trace_file $ metrics_file)
+  let combine jobs chunk seed backend trace_file metrics_file =
+    { jobs; chunk; seed; backend; trace_file; metrics_file }
+  in
+  Term.(const combine $ jobs $ chunk $ seed $ backend $ trace_file
+        $ metrics_file)
 
 (* a live registry only when a snapshot was requested, so un-instrumented
    runs keep the null registry's no-op handles *)

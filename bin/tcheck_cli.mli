@@ -6,9 +6,13 @@ type common = {
   jobs : int;  (** worker domains (default 1) *)
   chunk : int option;  (** jobs claimed per queue acquisition *)
   seed : int;  (** campaign master seed *)
+  backend : Minic.Exec.kind;  (** [--backend interp|vm|auto] *)
   trace_file : string option;  (** [--trace FILE.jsonl] *)
   metrics_file : string option;  (** [--metrics FILE.jsonl] *)
 }
+
+val backend_conv : Minic.Exec.kind Cmdliner.Arg.conv
+(** [interp]/[vm]/[auto] ({!Minic.Exec.of_string}). *)
 
 val prop_conv : (string * string) Cmdliner.Arg.conv
 (** [NAME=EXPR] proposition definitions ([--prop]). *)

@@ -44,7 +44,8 @@ let approach1 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_cycles = 60)
   session
 
 let approach2 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_statements = 60)
-    ?(trace = Verif.Trace.null) ?(metrics = Registry.null) () =
+    ?(backend = Minic.Exec.Auto) ?(trace = Verif.Trace.null)
+    ?(metrics = Registry.null) () =
   let flash =
     match flash with
     | Some config -> config
@@ -57,6 +58,7 @@ let approach2 ?(fault_rate = 0.02) ?flash ?(seed = 42) ?(chunk_statements = 60)
       seed;
       chunk = chunk_statements;
       flash = Some flash;
+      exec_backend = backend;
       trace;
       metrics;
     }
@@ -81,6 +83,7 @@ type plan = {
   watchdog_chunks : int;
   seed : int;
   flash : Flash.config option;
+  backend : Minic.Exec.kind;
   metrics : Registry.t;
 }
 
@@ -95,6 +98,7 @@ let default_plan =
     watchdog_chunks = 200;
     seed = 7;
     flash = None;
+    backend = Minic.Exec.Auto;
     metrics = Registry.null;
   }
 
@@ -154,7 +158,8 @@ let campaign_jobs plan =
                    ~seed:session_seed ~trace ~metrics:plan.metrics ()
                | 2 ->
                  approach2 ~fault_rate:plan.fault_rate ?flash:plan.flash
-                   ~seed:session_seed ~trace ~metrics:plan.metrics ()
+                   ~seed:session_seed ~backend:plan.backend ~trace
+                   ~metrics:plan.metrics ()
                | n -> invalid_arg (Printf.sprintf "unknown approach %d" n)
              in
              Driver.install_spec ~bound:plan.bound ~engine:plan.engine

@@ -34,6 +34,7 @@ val approach2 :
   ?flash:Dataflash.Flash.config ->
   ?seed:int ->
   ?chunk_statements:int ->
+  ?backend:Minic.Exec.kind ->
   ?trace:Verif.Trace.t ->
   ?metrics:Obs.Registry.t ->
   unit ->
@@ -41,7 +42,9 @@ val approach2 :
 (** Approach 2: derive the SystemC software model, map flash controller,
     flash window and mailbox into the virtual memory model, attach the
     checker to the program-counter event, and start the model thread.
-    [chunk_statements] defaults to 60. *)
+    [chunk_statements] defaults to 60; [backend] selects how the model
+    executes MiniC (default [Auto]: bytecode VM with interpreter
+    fallback). *)
 
 (** {2 Parallel campaigns}
 
@@ -63,6 +66,9 @@ type plan = {
   flash : Dataflash.Flash.config option;
       (** flash geometry/timing override; [None] means
           {!flash_campaign_config} at [fault_rate] *)
+  backend : Minic.Exec.kind;
+      (** MiniC execution backend for approach-2 sessions (default
+          [Auto]); approach 1 executes compiled code and ignores it *)
   metrics : Obs.Registry.t;
       (** threaded into every job's session, the pool, and the per-job
           [eee_*] counters/histograms labeled [{approach, op}];

@@ -17,6 +17,7 @@ type config = {
   seed : int;
   flash : Flash.config option;
   flag : string option;
+  exec_backend : Minic.Exec.kind;
   trace : Trace.t;
   metrics : Registry.t;
 }
@@ -33,12 +34,13 @@ let default_config =
     seed = 42;
     flash = None;
     flag = None;
+    exec_backend = Minic.Exec.Auto;
     trace = Trace.null;
     metrics = Registry.null;
   }
 
 type ref_state = {
-  env : Minic.Interp.env;
+  env : Minic.Exec.t;
   mutable executed : bool;
   mutable crash : string option;
 }
@@ -119,29 +121,49 @@ let trace session = session.config.trace
 
 let read_var session name =
   match session.runtime with
-  | Ref r -> Minic.Interp.read_global r.env name
+  | Ref r -> Minic.Exec.read_global r.env name
   | Soc s -> Platform.Soc.read_var s.soc name
   | Model m -> Esw.Esw_model.read_member m.model name
 
-let in_function session func =
+let unsupported_on_reference fn =
+  invalid_arg
+    (Printf.sprintf "Verif.Session.%s: unsupported on the reference backend" fn)
+
+let in_function_opt session func =
   match session.runtime with
-  | Ref _ ->
-    invalid_arg "Verif.Session.in_function: unsupported on the reference backend"
-  | Soc s -> Platform.Mem_prop.in_function s.soc func
-  | Model m -> Esw.Esw_prop.in_function m.model func
+  | Ref _ -> None
+  | Soc s -> Some (Platform.Mem_prop.in_function s.soc func)
+  | Model m -> Some (Esw.Esw_prop.in_function m.model func)
+
+let in_function session func =
+  match in_function_opt session func with
+  | Some prop -> prop
+  | None -> unsupported_on_reference "in_function"
+
+let mailbox_opt session =
+  match session.runtime with
+  | Ref _ -> None
+  | Soc s -> Some (Platform.Soc.mailbox s.soc)
+  | Model m -> Some m.mbox
 
 let mailbox session =
-  match session.runtime with
-  | Ref _ ->
-    invalid_arg "Verif.Session.mailbox: the reference backend has no mailbox"
-  | Soc s -> Platform.Soc.mailbox s.soc
-  | Model m -> m.mbox
+  match mailbox_opt session with
+  | Some mbox -> mbox
+  | None -> unsupported_on_reference "mailbox"
 
 let time_units session =
   match session.runtime with
-  | Ref r -> Minic.Interp.statements_executed r.env
+  | Ref r -> Minic.Exec.statements_executed r.env
   | Soc s -> Platform.Soc.cycles s.soc
   | Model m -> Esw.Esw_model.statements m.model
+
+(* the resolved Minic execution backend, for the statement-driven
+   runtimes (the SoC backend executes compiled code, not MiniC) *)
+let exec_backend session =
+  match session.runtime with
+  | Ref r -> Some (Minic.Exec.kind r.env)
+  | Model m -> Some (Minic.Exec.kind (Esw.Esw_model.exec m.model))
+  | Soc _ -> None
 
 let alive session =
   match session.runtime with
@@ -184,22 +206,21 @@ let run_reference session r =
     let step () = Checker.trigger session.chk in
     let hooks =
       {
-        (Minic.Interp.default_hooks ()) with
-        Minic.Interp.on_statement = (fun _ -> step ());
+        (Minic.Exec.default_hooks ()) with
+        Minic.Exec.on_statement = (fun _ -> step ());
       }
     in
-    match Minic.Interp.run ~fuel:session.config.fuel r.env hooks ~entry:"main" with
-    | Minic.Interp.Finished _ | Minic.Interp.Halted
-    | Minic.Interp.Fuel_exhausted ->
+    match Minic.Exec.run ~fuel:session.config.fuel ~hooks r.env ~entry:"main" with
+    | Minic.Exec.Finished _ | Minic.Exec.Halted | Minic.Exec.Fuel_exhausted ->
       (* on_statement fires before each statement executes, so sample once
          more to observe the terminal state, as the other backends do *)
       step ()
-    | exception Minic.Interp.Assertion_failed pos ->
+    | exception Minic.Exec.Assertion_failed pos ->
       r.crash <-
         Some
           (Printf.sprintf "assertion failed at %d:%d" pos.Minic.Ast.line
              pos.Minic.Ast.column)
-    | exception Minic.Interp.Runtime_error (msg, _) -> r.crash <- Some msg
+    | exception Minic.Exec.Runtime_error (msg, _) -> r.crash <- Some msg
   end
 
 let advance session =
@@ -273,6 +294,14 @@ let result ?test_cases ?(timeouts = 0) ?coverage session =
   let units = time_units session - session.units_at_timer in
   if elapsed > 0.0 then
     Registry.Gauge.set session.throughput (float_of_int units /. elapsed);
+  (match exec_backend session with
+  | Some kind ->
+    Registry.Counter.add
+      (Registry.counter session.config.metrics
+         (Printf.sprintf "sim_%s_statements_total" (Minic.Exec.to_string kind))
+         ~help:"statements simulated on this Minic execution backend")
+      units
+  | None -> ());
   {
     Result.backend = backend_name session;
     properties =
@@ -339,7 +368,7 @@ let build_model config derived =
   let model =
     Esw.Esw_model.create kernel ~seed:config.seed
       ~on_tick:(fun () -> Flash.tick flash)
-      derived ~vmem
+      ~backend:config.exec_backend derived ~vmem
   in
   (kernel, model, mbox)
 
@@ -371,7 +400,12 @@ let create ?compiled ?derived ?info config backend =
         | Some info -> info
         | None -> require_info "reference"
       in
-      Ref { env = Minic.Interp.create info; executed = false; crash = None }
+      Ref
+        {
+          env = Minic.Exec.create ~backend:config.exec_backend info;
+          executed = false;
+          crash = None;
+        }
     | Soc_model ->
       let compiled =
         match compiled with
@@ -416,6 +450,13 @@ let create ?compiled ?derived ?info config backend =
     }
   in
   session.units_at_timer <- time_units session;
+  (match exec_backend session with
+  | Some kind ->
+    Registry.Counter.incr
+      (Registry.counter config.metrics
+         (Printf.sprintf "sim_%s_sessions_total" (Minic.Exec.to_string kind))
+         ~help:"sessions created on this Minic execution backend")
+  | None -> ());
   let time_source () = time_units session in
   Checker.set_time_source chk time_source;
   if Trace.enabled config.trace then

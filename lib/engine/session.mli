@@ -39,6 +39,10 @@ type config = {
   flag : string option;
       (** approach-1 only: attach the ESW monitor with this
           initialization-flag variable instead of a bare clock trigger *)
+  exec_backend : Minic.Exec.kind;
+      (** how the reference and derived-model backends execute MiniC:
+          interpreter, bytecode VM, or [Auto] (VM with interpreter
+          fallback). Ignored by the SoC backend. *)
   trace : Trace.t;  (** event bus; {!Trace.null} disables tracing *)
   metrics : Obs.Registry.t;
       (** metrics registry threaded into the checker and the session's
@@ -48,8 +52,8 @@ type config = {
 
 val default_config : config
 (** ["session"], on-the-fly engine, no properties, no bound, fuel 50e6,
-    chunk 60, seed 42, default flash, no flag, null trace, null metrics
-    registry. *)
+    chunk 60, seed 42, default flash, no flag, auto exec backend, null
+    trace, null metrics registry. *)
 
 type t
 
@@ -82,9 +86,20 @@ val in_function : t -> string -> Proposition.t
 (** Proposition "execution is inside this function" ([fname]-based).
     @raise Invalid_argument on the reference backend. *)
 
+val in_function_opt : t -> string -> Proposition.t option
+(** As {!in_function}, [None] where unsupported (reference backend). *)
+
 val mailbox : t -> Platform.Mailbox.t
 (** The testbench request/response mailbox.
     @raise Invalid_argument on the reference backend. *)
+
+val mailbox_opt : t -> Platform.Mailbox.t option
+(** As {!mailbox}, [None] where unsupported (reference backend). *)
+
+val exec_backend : t -> Minic.Exec.kind option
+(** The resolved MiniC execution backend ([Interp] or [Vm]) for the
+    reference and derived-model runtimes; [None] for the SoC backend,
+    which executes compiled code. *)
 
 val time_units : t -> int
 (** Cycles (SoC) / statements (reference, derived model) consumed. *)

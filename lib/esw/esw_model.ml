@@ -1,23 +1,23 @@
 type outcome_state =
   | Not_started
   | Running
-  | Done of Minic.Interp.outcome
+  | Done of Minic.Exec.outcome
   | Crashed of exn
 
 type t = {
   kernel : Sim.Kernel.t;
   derived : C2sc.derived;
   vm : Vmem.t;
-  interp_env : Minic.Interp.env;
-  mutable interp_hooks : Minic.Interp.hooks;
+  exec : Minic.Exec.t;
   pc_ev : Sim.Kernel.event;
   mutable state : outcome_state;
   mutable stmt_count : int;
 }
 
-let create kernel ?(seed = 42) ?(on_tick = fun () -> ()) derived ~vmem =
+let create kernel ?(seed = 42) ?(on_tick = fun () -> ())
+    ?(backend = Minic.Exec.Auto) derived ~vmem =
   let pc_ev = Sim.Kernel.event kernel "esw_pc_event" in
-  let interp_env = Minic.Interp.create derived.C2sc.model_info in
+  let exec = Minic.Exec.create ~backend derived.C2sc.model_info in
   let prng = Stimuli.Prng.create ~seed in
   let stimulus = Stimuli.Prng.split prng "stimulus" in
   let model =
@@ -25,16 +25,15 @@ let create kernel ?(seed = 42) ?(on_tick = fun () -> ()) derived ~vmem =
       kernel;
       derived;
       vm = vmem;
-      interp_env;
-      interp_hooks = Minic.Interp.default_hooks ();
+      exec;
       pc_ev;
       state = Not_started;
       stmt_count = 0;
     }
   in
-  let hooks =
+  Minic.Exec.set_hooks exec
     {
-      Minic.Interp.mem_read = (fun addr -> Vmem.read vmem addr);
+      Minic.Exec.mem_read = (fun addr -> Vmem.read vmem addr);
       mem_write = (fun addr value -> Vmem.write vmem addr value);
       nondet =
         (fun ~lo ~hi ->
@@ -46,19 +45,17 @@ let create kernel ?(seed = 42) ?(on_tick = fun () -> ()) derived ~vmem =
           Sim.Kernel.notify pc_ev;
           Sim.Kernel.wait_for kernel 1);
       on_function_entry = (fun _ -> ());
-    }
-  in
-  model.interp_hooks <- hooks;
+    };
   model
 
 let derived model = model.derived
 let pc_event model = model.pc_ev
 let vmem model = model.vm
 let statements model = model.stmt_count
-let read_member model name = Minic.Interp.read_global model.interp_env name
+let read_member model name = Minic.Exec.read_global model.exec name
 let outcome model = model.state
-let env model = model.interp_env
-let hooks model = model.interp_hooks
+let exec model = model.exec
+let hooks model = Minic.Exec.hooks model.exec
 
 let start ?(fuel = 50_000_000) model ~entry =
   if model.state <> Not_started then
@@ -71,11 +68,11 @@ let start ?(fuel = 50_000_000) model ~entry =
     Sim.Kernel.wait_for model.kernel 1
   in
   let body () =
-    (match Minic.Interp.run ~fuel model.interp_env model.interp_hooks ~entry with
+    (match Minic.Exec.run ~fuel model.exec ~entry with
     | result -> model.state <- Done result
     | exception
-        ((Minic.Interp.Assertion_failed _ | Minic.Interp.Assumption_failed _
-         | Minic.Interp.Runtime_error _) as exn) ->
+        ((Minic.Exec.Assertion_failed _ | Minic.Exec.Assumption_failed _
+         | Minic.Exec.Runtime_error _) as exn) ->
       model.state <- Crashed exn);
     final_sample ()
   in

@@ -10,12 +10,15 @@
 
     The model's memory operations are bound to a {!Vmem}; [nondet] draws
     from a deterministic stimulus stream; flash-style devices that need a
-    time base are advanced once per statement through [on_tick]. *)
+    time base are advanced once per statement through [on_tick]. Execution
+    goes through {!Minic.Exec}, so the model runs on either the reference
+    interpreter or the bytecode VM ([backend], default [Auto]) with
+    identical event sequences. *)
 
 type outcome_state =
   | Not_started
   | Running
-  | Done of Minic.Interp.outcome
+  | Done of Minic.Exec.outcome
   | Crashed of exn  (** assertion failure / runtime error of the software *)
 
 type t
@@ -24,6 +27,7 @@ val create :
   Sim.Kernel.t ->
   ?seed:int ->
   ?on_tick:(unit -> unit) ->
+  ?backend:Minic.Exec.kind ->
   C2sc.derived ->
   vmem:Vmem.t ->
   t
@@ -44,8 +48,8 @@ val start : ?fuel:int -> t -> entry:string -> Sim.Kernel.process
 (** Spawn the model thread; default fuel 50 million statements. The
     process body catches software-level exceptions into [Crashed]. *)
 
-val env : t -> Minic.Interp.env
-(** The underlying interpreter state (advanced use: drivers calling
-    individual operations). *)
+val exec : t -> Minic.Exec.t
+(** The underlying execution backend (advanced use: drivers calling
+    individual operations, backend introspection). *)
 
-val hooks : t -> Minic.Interp.hooks
+val hooks : t -> Minic.Exec.hooks

@@ -1,0 +1,22 @@
+(** AST -> bytecode lowering for the {!Vm} backend.
+
+    Lowers a typechecked program to {!Bytecode.t}: variables to slots,
+    literals and const globals to the constants pool, control flow to
+    jumps, with every observation point of the interpreter — statement
+    tick, function entry, virtual memory, nondet — as an explicit
+    opcode, so the compiled program replays the interpreter's event
+    sequence (and its PC-event timing reference) exactly.
+
+    Global initializers are evaluated here, in declaration order, into
+    the program's initial scalar store; the typechecker guarantees they
+    are pure. *)
+
+exception Unsupported of string
+(** Raised for the rare constructs whose interpreter semantics are
+    dynamically scoped and cannot be compiled to fixed slots: a local
+    declared directly in one switch case and referenced from another,
+    and a declaration that executes conditionally into its enclosing
+    scope (a bare [Decl] as an [if]/[while]/[for] body or [for] step).
+    {!Exec}'s [Auto] backend falls back to the interpreter on this. *)
+
+val compile : Typecheck.info -> Bytecode.t

@@ -1,0 +1,117 @@
+(* Backend-agnostic execution interface over MiniC programs.
+
+   Everything outside [lib/minic] runs programs through this module:
+   the verification session's reference backend, the derived
+   SystemC-like model and the EEE harness all create an [Exec.t] and
+   use the same reset/run/read/hook surface, so the tree-walking
+   interpreter and the bytecode VM are interchangeable per run. [Auto]
+   prefers the VM and falls back to the interpreter for the rare
+   programs whose dynamic-scoping corners the compiler refuses
+   ([Compile.Unsupported]); both backends produce identical observable
+   behavior, which the differential tests enforce. *)
+
+type kind = Interp | Vm | Auto
+
+type outcome = Interp.outcome =
+  | Finished of int option
+  | Halted
+  | Fuel_exhausted
+
+type hooks = Interp.hooks = {
+  mem_read : int -> int;
+  mem_write : int -> int -> unit;
+  nondet : lo:int -> hi:int -> int;
+  on_statement : Ast.stmt -> unit;
+  on_function_entry : string -> unit;
+}
+
+exception Assertion_failed = Interp.Assertion_failed
+exception Assumption_failed = Interp.Assumption_failed
+exception Runtime_error = Interp.Runtime_error
+exception Out_of_fuel = Interp.Out_of_fuel
+
+let default_hooks = Interp.default_hooks
+
+type impl = I of Interp.env | V of Vm.t
+
+type t = {
+  info : Typecheck.info;
+  requested : kind;
+  mutable impl : impl;
+  mutable hooks : hooks;
+}
+
+let to_string = function Interp -> "interp" | Vm -> "vm" | Auto -> "auto"
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "vm" -> Some Vm
+  | "auto" -> Some Auto
+  | _ -> None
+
+let make_impl backend info =
+  match backend with
+  | Interp -> I (Interp.create info)
+  | Vm -> V (Vm.create (Compile.compile info))
+  | Auto -> (
+    match Compile.compile info with
+    | prog -> V (Vm.create prog)
+    | exception Compile.Unsupported _ -> I (Interp.create info))
+
+let create ?(backend = Auto) info =
+  {
+    info;
+    requested = backend;
+    impl = make_impl backend info;
+    hooks = Interp.default_hooks ();
+  }
+
+let kind t = match t.impl with I _ -> Interp | V _ -> Vm
+let kind_name t = to_string (kind t)
+let requested t = t.requested
+let info t = t.info
+let bytecode t = match t.impl with I _ -> None | V vm -> Some (Vm.program vm)
+let set_hooks t hooks = t.hooks <- hooks
+let hooks t = t.hooks
+
+let reset t =
+  match t.impl with
+  | V vm -> Vm.reset vm
+  | I _ -> t.impl <- I (Interp.create t.info)
+
+let run ?fuel ?hooks t ~entry =
+  let hooks = match hooks with Some h -> h | None -> t.hooks in
+  match t.impl with
+  | I env -> Interp.run ?fuel env hooks ~entry
+  | V vm -> Vm.run ?fuel vm hooks ~entry
+
+let call ?hooks t ~fuel name args =
+  let hooks = match hooks with Some h -> h | None -> t.hooks in
+  match t.impl with
+  | I env -> Interp.call env hooks ~fuel name args
+  | V vm -> Vm.call vm hooks ~fuel name args
+
+let read_global t name =
+  match t.impl with
+  | I env -> Interp.read_global env name
+  | V vm -> Vm.read_global vm name
+
+let write_global t name value =
+  match t.impl with
+  | I env -> Interp.write_global env name value
+  | V vm -> Vm.write_global vm name value
+
+let read_element t name index =
+  match t.impl with
+  | I env -> Interp.read_element env name index
+  | V vm -> Vm.read_element vm name index
+
+let globals_snapshot t =
+  match t.impl with
+  | I env -> Interp.globals_snapshot env
+  | V vm -> Vm.globals_snapshot vm
+
+let statements_executed t =
+  match t.impl with
+  | I env -> Interp.statements_executed env
+  | V vm -> Vm.statements_executed vm
