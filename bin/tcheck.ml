@@ -230,10 +230,7 @@ let cmd_verify =
           Verif.Session.run session;
           Verif.Session.result session)
     in
-    let summary =
-      Verif.Campaign.run ~metrics ~workers:common.Tcheck_cli.jobs
-        ?chunk:common.Tcheck_cli.chunk (List.map job_of named)
-    in
+    let summary = Tcheck_cli.execute common metrics (List.map job_of named) in
     Tcheck_cli.finish common metrics summary;
     List.iter
       (fun outcome ->
@@ -358,7 +355,7 @@ let cmd_absref =
     Term.(const action $ file_arg $ timeout)
 
 let cmd_eee =
-  let action approach op_names cases bound fault_rate common =
+  let action approach op_names cases scale bound fault_rate common =
     let find_op name =
       match
         List.find_opt
@@ -382,13 +379,17 @@ let cmd_eee =
       Printf.eprintf "unknown approach %d\n" approach;
       exit 2
     end;
+    if scale < 1 then begin
+      Printf.eprintf "--scale must be >= 1\n";
+      exit 2
+    end;
     let metrics = Tcheck_cli.registry common in
     let plan =
       {
         Eee.Harness.default_plan with
         Eee.Harness.ops;
         approaches = [ approach ];
-        cases_per_op = cases;
+        cases_per_op = cases * scale;
         bound;
         fault_rate;
         seed = common.Tcheck_cli.seed;
@@ -397,8 +398,7 @@ let cmd_eee =
       }
     in
     let summary =
-      Eee.Harness.run_campaign ~workers:common.Tcheck_cli.jobs
-        ?chunk:common.Tcheck_cli.chunk plan
+      Tcheck_cli.execute common metrics (Eee.Harness.campaign_jobs plan)
     in
     Tcheck_cli.finish common metrics summary;
     List.iter
@@ -434,6 +434,12 @@ let cmd_eee =
   let cases =
     Arg.(value & opt int 100 & info [ "cases" ] ~doc:"Test cases per operation")
   in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K"
+           ~doc:"Multiply --cases by K — the overnight-campaign knob; \
+                 combine with --stream to keep memory bounded while the \
+                 trace streams out")
+  in
   let bound =
     Arg.(value & opt (some int) None & info [ "bound" ]
            ~doc:"Time bound of the response property")
@@ -444,7 +450,7 @@ let cmd_eee =
   in
   Cmd.v
     (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
-    Term.(const action $ approach $ op $ cases $ bound $ fault_rate
+    Term.(const action $ approach $ op $ cases $ scale $ bound $ fault_rate
           $ Tcheck_cli.term ~default_seed:7)
 
 let cmd_metrics =

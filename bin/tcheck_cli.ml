@@ -13,6 +13,9 @@ type common = {
   backend : Minic.Exec.kind;
   trace_file : string option;
   metrics_file : string option;
+  stream : bool;
+  out_shards : int option;
+  window : int option;
 }
 
 let backend_conv =
@@ -70,11 +73,35 @@ let term ~default_seed =
                  $(b,auto) (VM with interpreter fallback; the default). \
                  Verdicts and traces are identical across backends")
   in
-  let combine jobs chunk seed backend trace_file metrics_file =
-    { jobs; chunk; seed; backend; trace_file; metrics_file }
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Run the streaming campaign engine: finished jobs flow \
+                 to the --trace file in job order through a bounded \
+                 reassembly window instead of accumulating until the \
+                 end of the run. Output is byte-identical to the \
+                 default engine")
+  in
+  let out_shards =
+    Arg.(value & opt (some int) None & info [ "out-shards" ] ~docv:"S"
+           ~doc:"Split the streamed --trace output over S files \
+                 (FILE.000.jsonl, FILE.001.jsonl, ...); concatenating \
+                 them in shard order reproduces the unsharded stream \
+                 byte for byte. Implies --stream")
+  in
+  let window =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"W"
+           ~doc:"Bound of the streaming reassembly window (outcomes a \
+                 slow job can park before depositing workers block; \
+                 default 2x the pool size, at least 4). Implies --stream")
+  in
+  let combine jobs chunk seed backend trace_file metrics_file stream
+      out_shards window =
+    let stream = stream || out_shards <> None || window <> None in
+    { jobs; chunk; seed; backend; trace_file; metrics_file; stream;
+      out_shards; window }
   in
   Term.(const combine $ jobs $ chunk $ seed $ backend $ trace_file
-        $ metrics_file)
+        $ metrics_file $ stream $ out_shards $ window)
 
 (* a live registry only when a snapshot was requested, so un-instrumented
    runs keep the null registry's no-op handles *)
@@ -83,14 +110,45 @@ let registry common =
   | Some _ -> Obs.Registry.create ()
   | None -> Obs.Registry.null
 
+(* Run a job list on the engine the options selected. Streaming routes
+   the trace through sinks while workers are still running — [finish]
+   must not (and does not) rewrite the trace file afterwards. *)
+let execute common metrics jobs =
+  (match common.out_shards with
+  | Some shards when shards < 1 ->
+    Printf.eprintf "--out-shards must be >= 1\n";
+    exit 2
+  | _ -> ());
+  if not common.stream then
+    Verif.Campaign.run ~metrics ~workers:common.jobs ?chunk:common.chunk jobs
+  else
+    try
+      let sinks =
+        match (common.trace_file, common.out_shards) with
+        | None, _ -> []
+        | Some out, None -> [ Verif.Campaign.jsonl_file_sink out ]
+        | Some out, Some shards ->
+          [
+            Verif.Campaign.sharded_jsonl_sink ~metrics ~shards
+              ~jobs:(List.length jobs) out;
+          ]
+      in
+      Verif.Campaign.run_stream ~metrics ~workers:common.jobs
+        ?chunk:common.chunk ?window:common.window ~sinks jobs
+    with Sys_error msg | Failure msg ->
+      Printf.eprintf "--stream: %s\n" msg;
+      exit 2
+
 let finish common metrics summary =
   (match common.trace_file with
   | None -> ()
-  | Some out -> (
-    try Verif.Campaign.write_jsonl ~metrics out summary
-    with Sys_error msg ->
-      Printf.eprintf "--trace: %s\n" msg;
-      exit 2));
+  | Some out ->
+    if not common.stream then (
+      (* streaming already wrote the trace incrementally through its sink *)
+      try Verif.Campaign.write_jsonl ~metrics out summary
+      with Sys_error msg ->
+        Printf.eprintf "--trace: %s\n" msg;
+        exit 2));
   match common.metrics_file with
   | None -> ()
   | Some out -> (

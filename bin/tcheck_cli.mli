@@ -9,6 +9,11 @@ type common = {
   backend : Minic.Exec.kind;  (** [--backend interp|vm|auto] *)
   trace_file : string option;  (** [--trace FILE.jsonl] *)
   metrics_file : string option;  (** [--metrics FILE.jsonl] *)
+  stream : bool;
+      (** [--stream]: run {!Verif.Campaign.run_stream} (also implied by
+          [--out-shards] / [--window]) *)
+  out_shards : int option;  (** [--out-shards S]: shard the streamed trace *)
+  window : int option;  (** [--window W]: reassembly-window bound *)
 }
 
 val backend_conv : Minic.Exec.kind Cmdliner.Arg.conv
@@ -24,6 +29,15 @@ val term : default_seed:int -> common Cmdliner.Term.t
 val registry : common -> Obs.Registry.t
 (** A fresh live registry when [--metrics] was given, {!Obs.Registry.null}
     otherwise. *)
+
+val execute :
+  common -> Obs.Registry.t -> Verif.Campaign.job list ->
+  Verif.Campaign.summary
+(** Run the jobs on the engine the options selected: the seed
+    accumulate-then-merge engine by default, or — under [--stream] —
+    the streaming engine with the trace flowing to [--trace] (sharded
+    when [--out-shards] was given) while workers are still running.
+    Sink failures exit 2 with the failing option named. *)
 
 val finish : common -> Obs.Registry.t -> Verif.Campaign.summary -> unit
 (** Write the merged campaign trace ([--trace], charged to the merge

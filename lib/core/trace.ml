@@ -145,28 +145,59 @@ let pp_event fmt (event : event) =
   | Watchdog_fired { index; op } -> Format.fprintf fmt " #%d op=%s" index op
   | Software_crashed { reason } -> Format.fprintf fmt " reason=%s" reason
 
+(* The streaming campaign engine renders every event of every job through
+   this path, so it appends directly into the caller's buffer: no member
+   list, no intermediate strings, no [Json.obj] concatenation. The bytes
+   are exactly those of [Json.obj] over the same members — [event_to_json]
+   is defined in terms of this function, and the goldens pin the format. *)
+let event_to_json_into buffer (event : event) =
+  let str key value =
+    Buffer.add_string buffer ",\"";
+    Buffer.add_string buffer key;
+    Buffer.add_string buffer "\":\"";
+    Buffer.add_string buffer (Json.escape value);
+    Buffer.add_char buffer '"'
+  and num key value =
+    Buffer.add_string buffer ",\"";
+    Buffer.add_string buffer key;
+    Buffer.add_string buffer "\":";
+    Buffer.add_string buffer (string_of_int value)
+  in
+  Buffer.add_string buffer "{\"seq\":";
+  Buffer.add_string buffer (string_of_int event.seq);
+  Buffer.add_string buffer ",\"tu\":";
+  Buffer.add_string buffer (string_of_int event.time_unit);
+  Buffer.add_string buffer ",\"event\":\"";
+  Buffer.add_string buffer (kind_label event.kind);
+  Buffer.add_char buffer '"';
+  (match event.kind with
+  | Trigger -> ()
+  | Sample { prop; value } ->
+    str "prop" prop;
+    Buffer.add_string buffer
+      (if value then ",\"value\":true" else ",\"value\":false")
+  | Verdict_change { property; verdict } ->
+    str "property" property;
+    str "verdict" (Verdict.to_string verdict)
+  | Handshake_armed { source } -> str "source" source
+  | Test_case_begin { index; op } ->
+    num "index" index;
+    str "op" op
+  | Test_case_end { index; result } -> (
+    num "index" index;
+    match result with
+    | Some result -> str "result" result
+    | None -> Buffer.add_string buffer ",\"result\":null")
+  | Watchdog_fired { index; op } ->
+    num "index" index;
+    str "op" op
+  | Software_crashed { reason } -> str "reason" reason);
+  Buffer.add_char buffer '}'
+
 let event_to_json (event : event) =
-  let base = [ ("seq", Json.int event.seq); ("tu", Json.int event.time_unit);
-               ("event", Json.string (kind_label event.kind)) ]
-  in
-  let payload =
-    match event.kind with
-    | Trigger -> []
-    | Sample { prop; value } ->
-      [ ("prop", Json.string prop); ("value", Json.bool value) ]
-    | Verdict_change { property; verdict } ->
-      [ ("property", Json.string property);
-        ("verdict", Json.string (Verdict.to_string verdict)) ]
-    | Handshake_armed { source } -> [ ("source", Json.string source) ]
-    | Test_case_begin { index; op } ->
-      [ ("index", Json.int index); ("op", Json.string op) ]
-    | Test_case_end { index; result } ->
-      [ ("index", Json.int index); ("result", Json.option Json.string result) ]
-    | Watchdog_fired { index; op } ->
-      [ ("index", Json.int index); ("op", Json.string op) ]
-    | Software_crashed { reason } -> [ ("reason", Json.string reason) ]
-  in
-  Json.obj (base @ payload)
+  let buffer = Buffer.create 64 in
+  event_to_json_into buffer event;
+  Buffer.contents buffer
 
 (* ------------------------------------------------------------------ *)
 (* Parsing (flat objects only — exactly what event_to_json produces)   *)

@@ -94,6 +94,11 @@ val pp_event : Format.formatter -> event -> unit
 val event_to_json : event -> string
 (** One-line JSON object (no trailing newline). *)
 
+val event_to_json_into : Buffer.t -> event -> unit
+(** Append exactly the bytes of {!event_to_json} to [buffer] without
+    intermediate allocations — the hot path of streaming campaign
+    emission, where every event of every job is rendered once. *)
+
 val event_of_json : string -> (event, string) result
 (** Inverse of {!event_to_json} (accepts any key order). *)
 

@@ -89,3 +89,15 @@ val run_campaign : ?workers:int -> ?chunk:int -> plan -> Verif.Campaign.summary
 (** {!Verif.Campaign.run} over {!campaign_jobs}; [chunk] is the number
     of consecutive jobs a worker claims per queue-mutex acquisition
     (scheduling only — results are identical for any value). *)
+
+val run_campaign_stream :
+  ?workers:int ->
+  ?chunk:int ->
+  ?window:int ->
+  ?sinks:Verif.Campaign.sink list ->
+  plan ->
+  Verif.Campaign.summary
+(** {!Verif.Campaign.run_stream} over {!campaign_jobs}: outcomes flow
+    to [sinks] in job order as soon as ordering allows, under a bounded
+    reassembly [window] — the JSONL a streaming sink receives is byte
+    for byte what {!run_campaign} plus [Campaign.to_jsonl] produces. *)

@@ -11,12 +11,23 @@ type outcome = {
 
 type queue_stats = { chunk : int; acquisitions : int; contention : int }
 
+type stream_stats = {
+  window : int;
+  peak_window : int;
+  emitted : int;
+  backpressure_waits : int;
+  backpressure_seconds : float;
+}
+
 type summary = {
   outcomes : outcome list;
   workers : int;
   wall_seconds : float;
   queue : queue_stats;
+  stream : stream_stats option;
 }
+
+type sink = { on_outcome : outcome -> unit; on_close : unit -> unit }
 
 let job ~label run = { label; run }
 
@@ -30,6 +41,11 @@ type meters = {
   m_claims : Registry.Counter.t;
   m_job_seconds : Registry.Timer.t;
   m_queue_wait : Registry.Timer.t;
+  m_window : Registry.Gauge.t;
+  m_emitted : Registry.Counter.t;
+  m_bp_waits : Registry.Counter.t;
+  m_bp_seconds : Registry.Timer.t;
+  m_merge : Registry.Timer.t;
 }
 
 let make_meters metrics =
@@ -50,6 +66,19 @@ let make_meters metrics =
     m_queue_wait =
       Registry.timer metrics "campaign_queue_wait_seconds"
         ~help:"per-worker wait for the job-queue mutex";
+    m_window =
+      Registry.gauge metrics "campaign_stream_window"
+        ~help:"outcomes currently parked in the streaming reassembly buffer";
+    m_emitted =
+      Registry.counter metrics "campaign_stream_emitted_total"
+        ~help:"outcomes emitted to the streaming sinks, in job order";
+    m_bp_waits =
+      Registry.counter metrics "campaign_backpressure_waits_total"
+        ~help:"deposits that had to wait for the reassembly window";
+    m_bp_seconds =
+      Registry.timer metrics "campaign_backpressure_wait_seconds"
+        ~help:"per-deposit wait for a slot in the reassembly window";
+    m_merge = Registry.stage_timer metrics Registry.Merge;
   }
 
 (* One job, on whatever domain runs it: a private bus buffering events in
@@ -66,6 +95,20 @@ let execute index job =
   Trace.close bus;
   { index; label = job.label; result; events = buffered () }
 
+let metered_execute meters index job =
+  if meters.metered then begin
+    let started = Unix.gettimeofday () in
+    let outcome = execute index job in
+    Registry.Timer.observe meters.m_job_seconds
+      (Unix.gettimeofday () -. started);
+    Registry.Counter.incr meters.m_jobs;
+    (match outcome.result with
+    | Error _ -> Registry.Counter.incr meters.m_errors
+    | Ok _ -> ());
+    outcome
+  end
+  else execute index job
+
 (* Workers claim contiguous chunks of job indices, not one index per lock
    acquisition: with J jobs and chunk size C the queue mutex is taken
    O(J/C) times instead of O(J). The default C aims at ~4 claims per
@@ -75,35 +118,17 @@ let execute index job =
    (and the pool) keeps running. *)
 let default_chunk ~count ~pool = max 1 (count / (pool * 4))
 
-let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
-  let meters = make_meters metrics in
-  let execute index job =
-    if meters.metered then begin
-      let started = Unix.gettimeofday () in
-      let outcome = execute index job in
-      Registry.Timer.observe meters.m_job_seconds
-        (Unix.gettimeofday () -. started);
-      Registry.Counter.incr meters.m_jobs;
-      (match outcome.result with
-      | Error _ -> Registry.Counter.incr meters.m_errors
-      | Ok _ -> ());
-      outcome
-    end
-    else execute index job
-  in
-  let started = Unix.gettimeofday () in
-  let jobs = Array.of_list jobs in
-  let count = Array.length jobs in
-  let pool = max 1 (min workers count) in
-  let chunk =
-    match chunk with Some c -> max 1 c | None -> default_chunk ~count ~pool
-  in
-  let slots = Array.make count None in
-  let queue = ref { chunk; acquisitions = 0; contention = 0 } in
-  (* Each slot is written by exactly one worker (the one whose chunk
-     covers the index) and read only after every domain joined. *)
-  if pool = 1 then
-    Array.iteri (fun index job -> slots.(index) <- Some (execute index job)) jobs
+(* The pool scaffolding shared by both engines: claim chunks, execute
+   each claimed job, hand the outcome to [deposit]. The seed engine's
+   deposit writes a private slot; the streaming engine's deposit goes
+   through the ordered reassembly buffer. Returns the queue stats. *)
+let run_pool ~meters ~pool ~chunk ~count ~execute ~deposit =
+  if pool = 1 then begin
+    for index = 0 to count - 1 do
+      deposit (execute index)
+    done;
+    { chunk; acquisitions = 0; contention = 0 }
+  end
   else begin
     let lock = Mutex.create () in
     let next = ref 0 in
@@ -136,20 +161,43 @@ let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
       | None -> ()
       | Some (lo, hi) ->
         for index = lo to hi - 1 do
-          slots.(index) <- Some (execute index jobs.(index))
+          deposit (execute index)
         done;
         drain ()
     in
     let spawned = List.init (pool - 1) (fun _ -> Domain.spawn drain) in
     drain ();
     List.iter Domain.join spawned;
-    queue :=
-      {
-        chunk;
-        acquisitions = Atomic.get acquisitions;
-        contention = Atomic.get contention;
-      }
-  end;
+    {
+      chunk;
+      acquisitions = Atomic.get acquisitions;
+      contention = Atomic.get contention;
+    }
+  end
+
+let pool_shape ?chunk ~workers count =
+  let pool = max 1 (min workers count) in
+  let chunk =
+    match chunk with Some c -> max 1 c | None -> default_chunk ~count ~pool
+  in
+  (pool, chunk)
+
+(* --- the seed engine: accumulate every outcome, merge afterwards -------- *)
+
+let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
+  let meters = make_meters metrics in
+  let started = Unix.gettimeofday () in
+  let jobs = Array.of_list jobs in
+  let count = Array.length jobs in
+  let pool, chunk = pool_shape ?chunk ~workers count in
+  let slots = Array.make count None in
+  (* Each slot is written by exactly one worker (the one whose chunk
+     covers the index) and read only after every domain joined. *)
+  let queue =
+    run_pool ~meters ~pool ~chunk ~count
+      ~execute:(fun index -> metered_execute meters index jobs.(index))
+      ~deposit:(fun outcome -> slots.(outcome.index) <- Some outcome)
+  in
   let outcomes =
     Array.to_list slots
     |> List.map (function Some outcome -> outcome | None -> assert false)
@@ -158,7 +206,246 @@ let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
     outcomes;
     workers = pool;
     wall_seconds = Unix.gettimeofday () -. started;
-    queue = !queue;
+    queue;
+    stream = None;
+  }
+
+(* --- the streaming engine: ordered reassembly, bounded window ----------- *)
+
+(* Finished jobs are handed to this buffer on whatever domain ran them;
+   outcomes leave strictly in job order. The frontier [r_next] is the
+   next index to emit; an out-of-order outcome parks in [r_buffered]
+   until the frontier reaches it. The buffer never holds more than
+   [r_window] outcomes: a worker depositing beyond a full window waits
+   on [r_wake] (backpressure), so one slow job bounds live memory at
+   window + workers outcomes instead of the whole campaign. The deposit
+   of the frontier index itself never waits — every index below it has
+   already been emitted, so the campaign cannot deadlock. *)
+type reassembly = {
+  r_lock : Mutex.t;
+  r_wake : Condition.t;
+  r_buffered : (int, outcome) Hashtbl.t;
+  r_window : int;
+  mutable r_next : int;
+  mutable r_seq : int; (* campaign-global event numbering *)
+  mutable r_peak : int;
+  mutable r_emitted : int;
+  mutable r_waits : int;
+  mutable r_wait_seconds : float;
+  mutable r_sink_error : string option;
+  r_slots : outcome option array; (* emitted outcomes, events dropped *)
+}
+
+let renumber reassembly events =
+  List.map
+    (fun (event : Trace.event) ->
+      let seq = reassembly.r_seq in
+      reassembly.r_seq <- seq + 1;
+      { event with Trace.seq })
+    events
+
+(* Emission runs under the reassembly lock: sinks are called serially,
+   in ascending job order, with events renumbered to the campaign-global
+   sequence — the bytes a streaming JSONL sink writes are exactly those
+   of the seed engine's end-of-run merge. A raising sink is disabled for
+   the rest of the run (the error resurfaces after the pool joins); the
+   frontier keeps advancing so no worker is left waiting. *)
+let emit_locked reassembly meters sinks outcome =
+  let started =
+    if meters.metered then Unix.gettimeofday () else 0.0
+  in
+  let outcome = { outcome with events = renumber reassembly outcome.events } in
+  (if reassembly.r_sink_error = None then
+     try List.iter (fun sink -> sink.on_outcome outcome) sinks
+     with exn -> reassembly.r_sink_error <- Some (Printexc.to_string exn));
+  reassembly.r_slots.(outcome.index) <- Some { outcome with events = [] };
+  reassembly.r_emitted <- reassembly.r_emitted + 1;
+  reassembly.r_next <- outcome.index + 1;
+  if meters.metered then begin
+    Registry.Counter.incr meters.m_emitted;
+    Registry.Timer.observe meters.m_merge (Unix.gettimeofday () -. started)
+  end
+
+let deposit reassembly meters sinks outcome =
+  Mutex.lock reassembly.r_lock;
+  if
+    outcome.index <> reassembly.r_next
+    && Hashtbl.length reassembly.r_buffered >= reassembly.r_window
+  then begin
+    let started = Unix.gettimeofday () in
+    reassembly.r_waits <- reassembly.r_waits + 1;
+    if meters.metered then Registry.Counter.incr meters.m_bp_waits;
+    while
+      outcome.index <> reassembly.r_next
+      && Hashtbl.length reassembly.r_buffered >= reassembly.r_window
+    do
+      Condition.wait reassembly.r_wake reassembly.r_lock
+    done;
+    let waited = Unix.gettimeofday () -. started in
+    reassembly.r_wait_seconds <- reassembly.r_wait_seconds +. waited;
+    if meters.metered then Registry.Timer.observe meters.m_bp_seconds waited
+  end;
+  if outcome.index = reassembly.r_next then begin
+    emit_locked reassembly meters sinks outcome;
+    let rec drain () =
+      match Hashtbl.find_opt reassembly.r_buffered reassembly.r_next with
+      | None -> ()
+      | Some parked ->
+        Hashtbl.remove reassembly.r_buffered reassembly.r_next;
+        emit_locked reassembly meters sinks parked;
+        drain ()
+    in
+    drain ();
+    if meters.metered then
+      Registry.Gauge.set meters.m_window
+        (float_of_int (Hashtbl.length reassembly.r_buffered));
+    Condition.broadcast reassembly.r_wake
+  end
+  else begin
+    Hashtbl.replace reassembly.r_buffered outcome.index outcome;
+    let parked = Hashtbl.length reassembly.r_buffered in
+    if parked > reassembly.r_peak then reassembly.r_peak <- parked;
+    if meters.metered then
+      Registry.Gauge.set meters.m_window (float_of_int parked)
+  end;
+  Mutex.unlock reassembly.r_lock
+
+let default_window ~pool = max 4 (2 * pool)
+
+let run_stream ?(metrics = Registry.null) ?(workers = 1) ?chunk ?window
+    ?(sinks = []) jobs =
+  let meters = make_meters metrics in
+  let started = Unix.gettimeofday () in
+  let jobs = Array.of_list jobs in
+  let count = Array.length jobs in
+  let pool, chunk = pool_shape ?chunk ~workers count in
+  let window =
+    match window with Some w -> max 1 w | None -> default_window ~pool
+  in
+  let reassembly =
+    {
+      r_lock = Mutex.create ();
+      r_wake = Condition.create ();
+      r_buffered = Hashtbl.create (window + 1);
+      r_window = window;
+      r_next = 0;
+      r_seq = 0;
+      r_peak = 0;
+      r_emitted = 0;
+      r_waits = 0;
+      r_wait_seconds = 0.0;
+      r_sink_error = None;
+      r_slots = Array.make count None;
+    }
+  in
+  let queue =
+    run_pool ~meters ~pool ~chunk ~count
+      ~execute:(fun index -> metered_execute meters index jobs.(index))
+      ~deposit:(fun outcome -> deposit reassembly meters sinks outcome)
+  in
+  assert (reassembly.r_next = count && reassembly.r_emitted = count);
+  List.iter
+    (fun sink ->
+      try sink.on_close ()
+      with exn ->
+        if reassembly.r_sink_error = None then
+          reassembly.r_sink_error <- Some (Printexc.to_string exn))
+    sinks;
+  (match reassembly.r_sink_error with
+  | Some message -> failwith ("Verif.Campaign.run_stream: sink failed: " ^ message)
+  | None -> ());
+  let outcomes =
+    Array.to_list reassembly.r_slots
+    |> List.map (function Some outcome -> outcome | None -> assert false)
+  in
+  {
+    outcomes;
+    workers = pool;
+    wall_seconds = Unix.gettimeofday () -. started;
+    queue;
+    stream =
+      Some
+        {
+          window;
+          peak_window = reassembly.r_peak;
+          emitted = reassembly.r_emitted;
+          backpressure_waits = reassembly.r_waits;
+          backpressure_seconds = reassembly.r_wait_seconds;
+        };
+  }
+
+(* --- streaming sinks ----------------------------------------------------- *)
+
+let sink ?(close = fun () -> ()) on_outcome = { on_outcome; on_close = close }
+
+let render_outcome buffer outcome =
+  List.iter
+    (fun event ->
+      Trace.event_to_json_into buffer event;
+      Buffer.add_char buffer '\n')
+    outcome.events
+
+let jsonl_buffer_sink out =
+  { on_outcome = render_outcome out; on_close = (fun () -> ()) }
+
+let jsonl_channel_sink channel =
+  let buffer = Buffer.create 65536 in
+  {
+    on_outcome =
+      (fun outcome ->
+        Buffer.clear buffer;
+        render_outcome buffer outcome;
+        Buffer.output_buffer channel buffer);
+    on_close = (fun () -> flush channel);
+  }
+
+let jsonl_file_sink path =
+  let channel = open_out_bin path in
+  let inner = jsonl_channel_sink channel in
+  {
+    inner with
+    on_close =
+      (fun () ->
+        inner.on_close ();
+        close_out channel);
+  }
+
+let shard_path path ~shard =
+  match Filename.extension path with
+  | "" -> Printf.sprintf "%s.%03d" path shard
+  | ext -> Printf.sprintf "%s.%03d%s" (Filename.remove_extension path) shard ext
+
+(* Shards are contiguous, balanced job ranges: shard k of S holds jobs
+   [k*J/S .. (k+1)*J/S), so concatenating the shard files in shard order
+   reproduces the merged stream byte for byte. *)
+let shard_of_job ~shards ~jobs index =
+  if jobs <= 0 then 0 else min (shards - 1) (index * shards / jobs)
+
+let sharded_jsonl_sink ?(metrics = Registry.null) ~shards ~jobs path =
+  if shards < 1 then
+    invalid_arg "Verif.Campaign.sharded_jsonl_sink: shards must be >= 1";
+  (* every shard file is created (and truncated) up front, so the
+     artifact set — and the concatenation order — is deterministic even
+     when trailing shards stay empty *)
+  let channels =
+    Array.init shards (fun shard -> open_out_bin (shard_path path ~shard))
+  in
+  let flushes =
+    Array.init shards (fun shard ->
+        Registry.counter metrics "campaign_shard_flushes_total"
+          ~labels:[ ("shard", Printf.sprintf "%03d" shard) ]
+          ~help:"outcomes flushed into this campaign output shard")
+  in
+  let buffer = Buffer.create 65536 in
+  {
+    on_outcome =
+      (fun outcome ->
+        let shard = shard_of_job ~shards ~jobs outcome.index in
+        Buffer.clear buffer;
+        render_outcome buffer outcome;
+        Buffer.output_buffer channels.(shard) buffer;
+        Registry.Counter.incr flushes.(shard));
+    on_close = (fun () -> Array.iter close_out channels);
   }
 
 (* --- deterministic merge, always in job order --------------------------- *)

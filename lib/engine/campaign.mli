@@ -7,12 +7,27 @@
     producing a {!Result.t} — fanned out over a fixed pool of
     [Domain.spawn] workers pulling from a mutex-protected queue.
 
-    Determinism contract: the merge is ordered by job index, never by
-    completion order, and every job gets a private in-memory trace bus
-    whose buffered events are concatenated in job order — so verdict
-    vectors, merged counters and JSONL trace output are byte-identical
-    for 1 worker and N workers. Jobs must not share mutable state: a job
-    builds its own session inside [run] and derives its stimulus from
+    Two engines share the pool:
+
+    - {!run} — the seed engine: every outcome (with its full event
+      buffer) is accumulated, and the merge happens after the pool
+      joins. Simple, and kept as the differential oracle.
+    - {!run_stream} — the streaming engine: workers hand finished
+      outcomes to an ordered reassembly buffer that emits them to
+      {!sink}s strictly in job order as soon as the order allows, with
+      a bounded window and backpressure. Live memory stays bounded by
+      window + workers outcomes instead of the whole campaign, and the
+      merge cost is paid incrementally while workers are still
+      simulating.
+
+    Determinism contract (both engines): output is ordered by job
+    index, never by completion order, and every job gets a private
+    in-memory trace bus whose buffered events are concatenated in job
+    order — so verdict vectors, merged counters and JSONL trace output
+    are byte-identical for 1 worker and N workers, and a streaming
+    JSONL sink writes exactly the bytes of the seed engine's
+    {!to_jsonl}. Jobs must not share mutable state: a job builds its
+    own session inside the engine and derives its stimulus from
     {!Stimuli.Prng.of_seed_index}, not from a shared generator. *)
 
 type job = {
@@ -28,7 +43,11 @@ type outcome = {
   result : (Result.t, string) result;
       (** [Error] carries the printed exception of a crashed job; a crash
           is confined to its job and never poisons the pool *)
-  events : Trace.event list;  (** the job's trace, job-local [seq] *)
+  events : Trace.event list;
+      (** the job's trace. Job-local [seq] in {!run} summaries;
+          campaign-global [seq] as delivered to streaming sinks; always
+          [[]] in {!run_stream} summaries (events are handed to the
+          sinks, not retained) *)
 }
 
 type queue_stats = {
@@ -37,12 +56,34 @@ type queue_stats = {
   contention : int;  (** acquisitions that found the queue locked *)
 }
 
+type stream_stats = {
+  window : int;  (** configured reassembly-window bound *)
+  peak_window : int;  (** most outcomes ever parked at once *)
+  emitted : int;  (** outcomes emitted to the sinks (= job count) *)
+  backpressure_waits : int;
+      (** deposits that blocked because the window was full *)
+  backpressure_seconds : float;  (** total time spent in those waits *)
+}
+
 type summary = {
   outcomes : outcome list;  (** ascending job index *)
   workers : int;  (** effective pool size *)
   wall_seconds : float;  (** wall clock of the whole campaign *)
   queue : queue_stats;  (** zero acquisitions for the inline 1-worker path *)
+  stream : stream_stats option;
+      (** [None] for the seed engine, [Some] for {!run_stream} *)
 }
+
+(** A streaming consumer of campaign outcomes. [on_outcome] is called
+    once per job, strictly in ascending job index order, with the
+    outcome's events already renumbered to the campaign-global [seq] —
+    serially, under the reassembly lock, from whichever domain deposited
+    the frontier outcome (sinks need not be thread-safe, but must not
+    call back into the campaign). [on_close] is called once, after the
+    pool joins. A sink that raises is disabled for the rest of the run
+    and the exception resurfaces as a [Failure] after the campaign
+    completes — the pool itself is never poisoned. *)
+type sink = { on_outcome : outcome -> unit; on_close : unit -> unit }
 
 val job : label:string -> (Trace.t -> Result.t) -> job
 
@@ -64,6 +105,76 @@ val run :
     on a metrics lock; recording never affects verdicts, the merge
     order, or the trace JSONL. *)
 
+val run_stream :
+  ?metrics:Obs.Registry.t ->
+  ?workers:int ->
+  ?chunk:int ->
+  ?window:int ->
+  ?sinks:sink list ->
+  job list ->
+  summary
+(** Like {!run}, but outcomes flow to [sinks] incrementally through an
+    ordered reassembly buffer instead of accumulating until the end.
+
+    An outcome finishing out of order parks in the buffer until the
+    frontier (the next job index to emit) reaches it. The buffer holds
+    at most [window] outcomes (default [max 4 (2 * pool)], clamped to
+    >= 1): a worker depositing beyond a full window blocks until the
+    frontier advances — so one slow job bounds live memory at
+    [window + workers] outcomes instead of the whole campaign. The
+    deposit at the frontier index itself never blocks (everything below
+    it has already been emitted), so the campaign cannot deadlock, for
+    any window, chunk and worker count.
+
+    The summary's [outcomes] keep label/result but drop the event
+    buffers ([events = []]); [stream] carries the {!stream_stats}.
+    Merged counters, {!verdicts} and {!errors} work unchanged.
+
+    On top of {!run}'s metrics, a live [metrics] registry records the
+    [campaign_stream_window] gauge (outcomes currently parked; sample
+    it concurrently to watch the window), [campaign_stream_emitted_total],
+    [campaign_backpressure_waits_total], the
+    [campaign_backpressure_wait_seconds] histogram, and charges
+    per-outcome sink emission to the [merge] stage timer — the
+    streaming counterpart of {!to_jsonl}'s end-of-run merge charge. *)
+
+(** {2 Streaming sinks} *)
+
+val sink : ?close:(unit -> unit) -> (outcome -> unit) -> sink
+(** [sink f] calls [f] per outcome; [close] defaults to a no-op. *)
+
+val jsonl_buffer_sink : Buffer.t -> sink
+(** Append every outcome's events as JSONL into a buffer. The buffer's
+    final contents equal the seed engine's {!to_jsonl} byte for byte. *)
+
+val jsonl_channel_sink : out_channel -> sink
+(** Write every outcome's events as JSONL to a channel; each outcome is
+    rendered into a reused buffer and written in one output call.
+    [on_close] flushes but does not close the channel. *)
+
+val jsonl_file_sink : string -> sink
+(** Like {!jsonl_channel_sink} into a fresh file (truncates);
+    [on_close] closes it. *)
+
+val sharded_jsonl_sink :
+  ?metrics:Obs.Registry.t -> shards:int -> jobs:int -> string -> sink
+(** Split the JSONL stream over [shards] files derived from the path
+    (see {!shard_path}). Job [i] of [jobs] lands in shard
+    [i * shards / jobs] — contiguous, balanced index ranges — so
+    concatenating the shard files in shard order reproduces the merged
+    stream byte for byte. All shard files are created (truncated) up
+    front, so the artifact set is deterministic even when trailing
+    shards stay empty. A live [metrics] registry counts per-shard
+    flushes as [campaign_shard_flushes_total{shard="NNN"}].
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_path : string -> shard:int -> string
+(** ["out.jsonl" -> "out.000.jsonl"]; a path without an extension gets
+    the shard suffix appended (["out" -> "out.000"]). *)
+
+val shard_of_job : shards:int -> jobs:int -> int -> int
+(** The shard index job [i] is routed to. *)
+
 (** {2 Deterministic merge} *)
 
 val results : summary -> Result.t list
@@ -74,7 +185,8 @@ val errors : summary -> (string * string) list
 
 val events : summary -> Trace.event list
 (** All trace events, concatenated in job order and renumbered with a
-    campaign-global [seq] starting at 0. *)
+    campaign-global [seq] starting at 0. Empty for {!run_stream}
+    summaries — attach a sink to observe the stream. *)
 
 val to_jsonl : ?metrics:Obs.Registry.t -> summary -> string
 (** {!events} rendered one JSON object per line — byte-identical for any

@@ -16,6 +16,7 @@ type t = {
   test_cases : int option;
   timeouts : int;
   coverage : Sctc.Coverage.t option;
+  trace_events : int;
 }
 
 let find_opt result name =

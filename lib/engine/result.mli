@@ -21,6 +21,11 @@ type t = {
   test_cases : int option;  (** completed cases (campaigns only) *)
   timeouts : int;  (** watchdog hits (campaigns only) *)
   coverage : Sctc.Coverage.t option;  (** return coverage (campaigns only) *)
+  trace_events : int;
+      (** events the session published on its trace bus — the count a
+          streaming campaign sink receives for this job, recorded here
+          so consumers can cross-check emission without retaining the
+          event buffers themselves *)
 }
 
 val verdict : t -> string -> Verdict.t

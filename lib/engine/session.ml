@@ -320,6 +320,9 @@ let result ?test_cases ?(timeouts = 0) ?coverage session =
     test_cases;
     timeouts;
     coverage;
+    (* the per-job handoff figure: how many events this session's bus
+       published — what a streaming campaign sink will receive *)
+    trace_events = Trace.events session.config.trace;
   }
 
 let close session = Trace.close session.config.trace

@@ -1,0 +1,269 @@
+(* Decode safety net for the BENCH_campaign.json trajectory reader.
+   The fixture lines below are verbatim rows from the repository's own
+   trajectory file: rows written before the "table" tag existed (no tag,
+   table inferred from content), plus tagged checker/simulate/campaign
+   rows with the %.6g scientific-notation floats the bench writes.
+   Bench_log must keep decoding every historical generation — the
+   trajectory is append-only and spans the repo's whole life. *)
+
+module Bench_log = Verif.Bench_log
+module Json = Sctc.Trace.Json
+
+(* ---- verbatim historical fixture lines --------------------------------- *)
+
+(* the very first generation: campaign rows, no "table" tag *)
+let legacy_campaign =
+  {|{"unix_time":1786041690,"scale":1,"jobs":4,"ops":7,"cases_per_op":40,"seq_seconds":0.217622,"par_seconds":0.396184,"speedup":0.549295,"verdicts_identical":true,"jsonl_identical":true}|}
+
+(* later untagged generation: queue/cache columns added, still no tag *)
+let legacy_campaign_wide =
+  {|{"unix_time":1786044020,"scale":1,"jobs":1,"cores":1,"ops":7,"cases_per_op":40,"seq_seconds":0.169137,"par_seconds":0.179573,"speedup":0.941885,"synth_seconds":0,"vt_seconds":0.166125,"verdicts_identical":true,"jsonl_identical":true,"queue_chunk":1,"queue_acquisitions":0,"queue_contention":0,"cons_dls_hits":239190,"cons_shard_acquisitions":0,"cons_shard_contention":0,"automaton_cache_hits":0,"automaton_cache_misses":0}|}
+
+(* tagged checker row — scientific-notation floats from Json.float's %.6g *)
+let tagged_checker =
+  {|{"table":"checker","unix_time":1786047058,"git_rev":"97454da","scale":1,"triggers":200000,"properties":7,"propositions":38,"legacy_tps":375961,"plan_tps":1.33827e+06,"explicit_tps":2.30521e+06,"speedup":3.55959,"prog_cache_hits":1400000,"prog_cache_misses":0,"prog_cache_hit_rate":1,"verdicts_identical":true}|}
+
+let tagged_simulate =
+  {|{"table":"simulate","unix_time":1786205197,"git_rev":"a8640e4","scale":1,"jobs":1,"cores":1,"speedup_expected":true,"target_statements":2000000,"interp_statements":2000000,"interp_seconds":0.146039,"interp_sps":1.3695e+07,"vm_statements":2000000,"vm_seconds":0.0670948,"vm_sps":2.98086e+07,"speedup":2.17661,"verdicts_identical":true,"jsonl_identical":true,"sim_interp_statements_total":19740,"sim_vm_statements_total":19740}|}
+
+let tagged_campaign =
+  {|{"table":"campaign","unix_time":1786205100,"git_rev":"a8640e4","scale":1,"jobs":2,"speedup":0.95,"verdicts_identical":true,"jsonl_identical":true}|}
+
+let parse_ok line =
+  match Bench_log.parse_line line with
+  | Ok row -> row
+  | Error msg -> Alcotest.failf "fixture line failed to parse: %s" msg
+
+(* ---- legacy inference --------------------------------------------------- *)
+
+let test_legacy_rows_infer_campaign () =
+  List.iter
+    (fun line ->
+      let row = parse_ok line in
+      Alcotest.(check string) "inferred table" "campaign" row.Bench_log.table;
+      Alcotest.(check bool) "marked untagged" false row.Bench_log.tagged;
+      Alcotest.(check (option bool)) "verdict flag decodes" (Some true)
+        (Bench_log.bool_field row "verdicts_identical"))
+    [ legacy_campaign; legacy_campaign_wide ]
+
+let test_inference_keys_on_content () =
+  (* a hypothetical untagged checker/simulate row is still routed by its
+     distinctive field, not by the historical accident that those tables
+     were born tagged *)
+  let checkerish = {|{"legacy_tps":375961,"speedup":3.5}|} in
+  let simulateish = {|{"interp_sps":1.3695e+07}|} in
+  Alcotest.(check string) "legacy_tps routes to checker" "checker"
+    (parse_ok checkerish).Bench_log.table;
+  Alcotest.(check string) "interp_sps routes to simulate" "simulate"
+    (parse_ok simulateish).Bench_log.table
+
+(* ---- tagged rows and accessors ------------------------------------------ *)
+
+let test_tagged_rows () =
+  List.iter
+    (fun (line, table) ->
+      let row = parse_ok line in
+      Alcotest.(check string) "tag decodes" table row.Bench_log.table;
+      Alcotest.(check bool) "marked tagged" true row.Bench_log.tagged;
+      (* the tag stays visible as an ordinary field too *)
+      Alcotest.(check (option string)) "tag field" (Some table)
+        (Bench_log.str_field row "table"))
+    [
+      (tagged_checker, "checker");
+      (tagged_simulate, "simulate");
+      (tagged_campaign, "campaign");
+    ]
+
+let test_scientific_notation_numbers () =
+  let row = parse_ok tagged_checker in
+  Alcotest.(check (option (float 1.0))) "plan_tps in %.6g notation"
+    (Some 1.33827e+06)
+    (Bench_log.number row "plan_tps");
+  Alcotest.(check (option int)) "plain integer column" (Some 200000)
+    (Bench_log.int_field row "triggers");
+  Alcotest.(check (option string)) "string column" (Some "97454da")
+    (Bench_log.str_field row "git_rev")
+
+let test_accessor_kind_mismatch () =
+  let row = parse_ok tagged_checker in
+  Alcotest.(check (option string)) "number is not a string" None
+    (Bench_log.str_field row "speedup");
+  Alcotest.(check (option (float 0.))) "bool is not a number" None
+    (Bench_log.number row "verdicts_identical");
+  Alcotest.(check (option bool)) "absent key" None
+    (Bench_log.bool_field row "no_such_column")
+
+let test_field_order_preserved () =
+  let row = parse_ok legacy_campaign in
+  Alcotest.(check (list string)) "fields keep line order"
+    [
+      "unix_time"; "scale"; "jobs"; "ops"; "cases_per_op"; "seq_seconds";
+      "par_seconds"; "speedup"; "verdicts_identical"; "jsonl_identical";
+    ]
+    (List.map fst row.Bench_log.fields)
+
+(* ---- malformed input ----------------------------------------------------- *)
+
+let check_error label line =
+  match Bench_log.parse_line line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected a parse error for %S" label line
+
+let test_malformed_lines_rejected () =
+  check_error "not an object" {|[1,2]|};
+  check_error "trailing bytes" {|{"a":1} {"b":2}|};
+  check_error "unterminated string" {|{"a":"oops|};
+  check_error "bad number" {|{"a":1.2.3}|};
+  check_error "missing colon" {|{"a" 1}|};
+  check_error "non-string table" {|{"table":3,"a":1}|}
+
+let test_null_and_escapes () =
+  let row = parse_ok {|{"table":"campaign","note":"a\"b\\c\nd","gap":null}|} in
+  Alcotest.(check (option string)) "escape decoding" (Some "a\"b\\c\nd")
+    (Bench_log.str_field row "note");
+  Alcotest.(check bool) "null decodes" true
+    (Bench_log.field row "gap" = Some Bench_log.Null)
+
+(* ---- load: files, blank lines, error position --------------------------- *)
+
+let write_temp lines =
+  let path = Filename.temp_file "bench_log" ".json" in
+  let oc = open_out_bin path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  path
+
+let test_load_mixed_generations () =
+  let path =
+    write_temp
+      [
+        legacy_campaign; ""; legacy_campaign_wide; tagged_checker;
+        tagged_simulate; tagged_campaign;
+      ]
+  in
+  let rows =
+    match Bench_log.load path with
+    | Ok rows -> rows
+    | Error msg -> Alcotest.failf "load failed: %s" msg
+  in
+  Sys.remove path;
+  Alcotest.(check int) "blank line skipped, five rows" 5 (List.length rows);
+  Alcotest.(check (list string)) "tables across generations"
+    [ "campaign"; "campaign"; "checker"; "simulate"; "campaign" ]
+    (List.map (fun r -> r.Bench_log.table) rows);
+  Alcotest.(check (list bool)) "tagged flags"
+    [ false; false; true; true; true ]
+    (List.map (fun r -> r.Bench_log.tagged) rows)
+
+let test_load_reports_line_number () =
+  let path = write_temp [ legacy_campaign; {|{"broken|} ] in
+  (match Bench_log.load path with
+  | Ok _ -> Alcotest.fail "load must fail on the malformed second line"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names file:line" msg)
+      true
+      (let needle = Filename.basename path ^ ":2:" in
+       let n = String.length needle and h = String.length msg in
+       let rec at i = i + n <= h && (String.sub msg i n = needle || at (i + 1)) in
+       at 0));
+  Sys.remove path
+
+(* ---- the repository's own trajectory still decodes ----------------------- *)
+
+let test_repo_trajectory_decodes () =
+  let path = Filename.concat (Sys.getcwd ()) "../BENCH_campaign.json" in
+  if Sys.file_exists path then
+    match Bench_log.load path with
+    | Ok rows ->
+      Alcotest.(check bool) "trajectory is non-trivial" true
+        (List.length rows > 0);
+      List.iter
+        (fun row ->
+          Alcotest.(check bool)
+            ("known table: " ^ row.Bench_log.table)
+            true
+            (List.mem row.Bench_log.table
+               [ "campaign"; "checker"; "simulate" ]))
+        rows
+    | Error msg -> Alcotest.failf "repo trajectory no longer decodes: %s" msg
+
+(* ---- render: the uniform tagged writer ----------------------------------- *)
+
+let test_render_round_trip () =
+  let line =
+    Bench_log.render ~table:"campaign"
+      [
+        ("unix_time", Json.int 1786205300);
+        ("merge_ratio", Json.float 0.23);
+        ("stream_jsonl_identical", Json.bool true);
+        ("git_rev", Json.string "2300a4f");
+      ]
+  in
+  let row = parse_ok line in
+  Alcotest.(check string) "round-trips as tagged campaign" "campaign"
+    row.Bench_log.table;
+  Alcotest.(check bool) "tagged" true row.Bench_log.tagged;
+  Alcotest.(check (list string)) "tag rendered first"
+    [ "table"; "unix_time"; "merge_ratio"; "stream_jsonl_identical"; "git_rev" ]
+    (List.map fst row.Bench_log.fields);
+  Alcotest.(check (option int)) "int survives" (Some 1786205300)
+    (Bench_log.int_field row "unix_time");
+  Alcotest.(check (option bool)) "bool survives" (Some true)
+    (Bench_log.bool_field row "stream_jsonl_identical")
+
+let test_render_rejects_duplicate_tag () =
+  Alcotest.check_raises "members must not smuggle their own table tag"
+    (Invalid_argument
+       "Verif.Bench_log.render: members must not contain \"table\"")
+    (fun () ->
+      ignore (Bench_log.render ~table:"campaign" [ ("table", Json.string "x") ]))
+
+let () =
+  Alcotest.run "bench-log"
+    [
+      ( "legacy",
+        [
+          Alcotest.test_case "untagged rows infer campaign" `Quick
+            test_legacy_rows_infer_campaign;
+          Alcotest.test_case "inference keys on content" `Quick
+            test_inference_keys_on_content;
+        ] );
+      ( "tagged",
+        [
+          Alcotest.test_case "tagged rows decode" `Quick test_tagged_rows;
+          Alcotest.test_case "%.6g scientific notation" `Quick
+            test_scientific_notation_numbers;
+          Alcotest.test_case "accessor kind mismatches" `Quick
+            test_accessor_kind_mismatch;
+          Alcotest.test_case "field order preserved" `Quick
+            test_field_order_preserved;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "malformed lines rejected" `Quick
+            test_malformed_lines_rejected;
+          Alcotest.test_case "null and string escapes" `Quick
+            test_null_and_escapes;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "mixed-generation file" `Quick
+            test_load_mixed_generations;
+          Alcotest.test_case "error carries file:line" `Quick
+            test_load_reports_line_number;
+          Alcotest.test_case "repo trajectory decodes" `Quick
+            test_repo_trajectory_decodes;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "tagged line round-trips" `Quick
+            test_render_round_trip;
+          Alcotest.test_case "duplicate tag rejected" `Quick
+            test_render_rejects_duplicate_tag;
+        ] );
+    ]
