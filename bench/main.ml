@@ -837,6 +837,153 @@ let run_simulate_bench () =
   verdicts_identical && jsonl_identical && speedup >= 2.0
 
 (* ------------------------------------------------------------------ *)
+(* SMC: Wald's sequential test vs the fixed-size Chernoff bound        *)
+
+type smc_scenario = {
+  smc_name : string;
+  smc_op : Spec.op;
+  smc_bound : int option;
+  smc_faults : Smc.Faults.t;
+  smc_spec : Smc.Runner.spec;
+}
+
+(* three probability regimes over the fault-injected EEE software: a
+   clear pass (p near 1), a clear fail (tight bound, heavy torn writes)
+   and a fixed-size estimation of the same failing scenario — the row
+   the SPRT's sample count is compared against *)
+let smc_scenarios =
+  [
+    {
+      smc_name = "read/h0";
+      smc_op = Spec.Read;
+      smc_bound = None;
+      smc_faults =
+        { Smc.Faults.none with Smc.Faults.decay = 0.0005; power_loss = 0.05 };
+      smc_spec =
+        Smc.Runner.Sequential
+          { theta = 0.5; delta = 0.1; alpha = 0.05; beta = 0.05;
+            max_samples = None };
+    };
+    {
+      smc_name = "write-tb50/h1";
+      smc_op = Spec.Write;
+      smc_bound = Some 50;
+      smc_faults = { Smc.Faults.none with Smc.Faults.power_loss = 0.4 };
+      smc_spec =
+        Smc.Runner.Sequential
+          { theta = 0.8; delta = 0.05; alpha = 0.05; beta = 0.05;
+            max_samples = None };
+    };
+    {
+      smc_name = "write-tb50/est";
+      smc_op = Spec.Write;
+      smc_bound = Some 50;
+      smc_faults = { Smc.Faults.none with Smc.Faults.power_loss = 0.4 };
+      smc_spec = Smc.Runner.Fixed { eps = 0.15; delta = 0.2 };
+    };
+  ]
+
+let run_smc_scenario scenario =
+  let plan =
+    {
+      Harness.default_plan with
+      Harness.ops = [ scenario.smc_op ];
+      approaches = [ 2 ];
+      cases_per_op = 1;
+      bound = scenario.smc_bound;
+      fault_rate = 0.02;
+      faults = scenario.smc_faults;
+      flash = Some (Harness.flash_quick_config ~fault_rate:0.02);
+      seed = 23 + !scale;
+    }
+  in
+  let report =
+    Smc.Runner.run ~workers:!jobs ~label:scenario.smc_name
+      ~job:(fun ~index ->
+        Harness.smc_sample_job plan ~approach:2 ~op:scenario.smc_op ~index)
+      ~succeeded:(Harness.smc_succeeded ?prop:None)
+      scenario.smc_spec
+  in
+  let cancelled =
+    match report.Smc.Runner.stream with
+    | Some stats -> stats.Verif.Campaign.cancelled_jobs
+    | None -> 0
+  in
+  Printf.printf "  %-16s %-8s %9s %8d %9d %7d %8.4f %7.2fs%s\n"
+    scenario.smc_name
+    (Spec.op_name scenario.smc_op)
+    (Format.asprintf "%a" Smc.Runner.pp_decision report.Smc.Runner.decision)
+    report.Smc.Runner.samples report.Smc.Runner.chernoff_n cancelled
+    report.Smc.Runner.p_hat report.Smc.Runner.wall_seconds
+    (if report.Smc.Runner.forced then "  (forced)" else "");
+  let module Json = Sctc.Trace.Json in
+  let theta, delta, alpha, beta, eps =
+    match scenario.smc_spec with
+    | Smc.Runner.Sequential { theta; delta; alpha; beta; _ } ->
+      (theta, delta, alpha, beta, 0.0)
+    | Smc.Runner.Fixed { eps; delta } -> (0.0, delta, 0.0, 0.0, eps)
+  in
+  append_campaign_record ~table:"smc"
+    [
+      ("unix_time", Json.int (int_of_float (Unix.time ())));
+      ("git_rev", Json.string (Lazy.force git_rev));
+      ("scale", Json.int !scale);
+      ("jobs", Json.int !jobs);
+      ("scenario", Json.string scenario.smc_name);
+      ("op", Json.string (Spec.op_name scenario.smc_op));
+      ( "bound",
+        match scenario.smc_bound with
+        | Some b -> Json.int b
+        | None -> Json.int 0 );
+      ("faults", Json.string (Smc.Faults.to_string scenario.smc_faults));
+      ("theta", Json.float theta);
+      ("delta", Json.float delta);
+      ("alpha", Json.float alpha);
+      ("beta", Json.float beta);
+      ("eps", Json.float eps);
+      ( "decision",
+        Json.string
+          (Format.asprintf "%a" Smc.Runner.pp_decision
+             report.Smc.Runner.decision) );
+      ("samples", Json.int report.Smc.Runner.samples);
+      ("successes", Json.int report.Smc.Runner.successes);
+      ("p_hat", Json.float report.Smc.Runner.p_hat);
+      ("chernoff_n", Json.int report.Smc.Runner.chernoff_n);
+      ("cancelled_jobs", Json.int cancelled);
+      ("forced", Json.bool report.Smc.Runner.forced);
+      ("early_stopped", Json.bool report.Smc.Runner.early_stopped);
+      ("errors", Json.int (List.length report.Smc.Runner.errors));
+      ("wall_seconds", Json.float report.Smc.Runner.wall_seconds);
+    ];
+  match scenario.smc_spec with
+  | Smc.Runner.Fixed _ ->
+    (* estimation rows have no early-stop expectation; only crash-free *)
+    report.Smc.Runner.errors = []
+  | Smc.Runner.Sequential _ ->
+    (* the CI gate: the sequential test must reach a real (un-forced)
+       decision in strictly fewer samples than the fixed-size bound the
+       same guarantees would cost, with no crashed samples *)
+    report.Smc.Runner.decision <> Smc.Runner.Estimate
+    && (not report.Smc.Runner.forced)
+    && report.Smc.Runner.samples < report.Smc.Runner.chernoff_n
+    && report.Smc.Runner.errors = []
+
+let run_smc_bench () =
+  print_endline "=========================================================";
+  Printf.printf
+    "SMC -- Wald SPRT vs fixed-size Chernoff bound (%d workers)\n" !jobs;
+  print_endline "=========================================================";
+  Printf.printf "  %-16s %-8s %9s %8s %9s %7s %8s %8s\n" "scenario" "op"
+    "decision" "samples" "chernoff" "saved" "p_hat" "wall";
+  let ok =
+    List.fold_left
+      (fun ok scenario -> run_smc_scenario scenario && ok)
+      true smc_scenarios
+  in
+  Printf.printf "recorded in BENCH_campaign.json\n\n";
+  ok
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let run_ablation () =
@@ -1060,6 +1207,7 @@ let () =
   | "campaign" -> campaign_ok := run_campaign_bench ()
   | "checker" -> campaign_ok := run_checker_bench ()
   | "simulate" -> campaign_ok := run_simulate_bench ()
+  | "smc" -> campaign_ok := run_smc_bench ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro_suite ()
   | _ ->
@@ -1068,7 +1216,8 @@ let () =
     campaign_ok := run_campaign_bench ();
     let checker_ok = run_checker_bench () in
     let simulate_ok = run_simulate_bench () in
-    campaign_ok := !campaign_ok && checker_ok && simulate_ok;
+    let smc_ok = run_smc_bench () in
+    campaign_ok := !campaign_ok && checker_ok && simulate_ok && smc_ok;
     run_ablation ();
     if !run_micro then run_micro_suite ());
   print_endline "done.";

@@ -10,6 +10,7 @@
      bmc        bounded model checking
      absref     predicate-abstraction model checking
      eee        run a case-study verification campaign
+     smc        statistical model checking over fault-injected campaigns
      metrics    validate a metrics snapshot written by --metrics *)
 
 open Cmdliner
@@ -453,6 +454,221 @@ let cmd_eee =
     Term.(const action $ approach $ op $ cases $ scale $ bound $ fault_rate
           $ Tcheck_cli.term ~default_seed:7)
 
+let cmd_smc =
+  let action approach op_name cases quick theta eps delta alpha beta
+      max_samples fault_specs prop bound fault_rate common =
+    if approach <> 1 && approach <> 2 then begin
+      Printf.eprintf "unknown approach %d\n" approach;
+      exit 2
+    end;
+    let op =
+      match
+        List.find_opt
+          (fun op ->
+            String.lowercase_ascii (Eee.Eee_spec.op_name op)
+            = String.lowercase_ascii op_name)
+          Eee.Eee_spec.all_ops
+      with
+      | Some op -> op
+      | None ->
+        Printf.eprintf "unknown operation %s\n" op_name;
+        exit 2
+    in
+    (match prop with
+    | Some name
+      when not
+             (List.exists
+                (fun op -> Eee.Eee_spec.property_name op = name)
+                Eee.Eee_spec.all_ops) ->
+      Printf.eprintf "unknown property %s (known: %s)\n" name
+        (String.concat ", "
+           (List.map Eee.Eee_spec.property_name Eee.Eee_spec.all_ops));
+      exit 2
+    | _ -> ());
+    let faults =
+      match Smc.Faults.of_specs fault_specs with
+      | Ok faults -> faults
+      | Error msg ->
+        Printf.eprintf "--fault: %s\n" msg;
+        exit 2
+    in
+    let metrics = Tcheck_cli.registry common in
+    let plan =
+      {
+        Eee.Harness.default_plan with
+        Eee.Harness.ops = [ op ];
+        approaches = [ approach ];
+        cases_per_op = cases;
+        bound;
+        fault_rate;
+        faults;
+        flash =
+          (if quick then Some (Eee.Harness.flash_quick_config ~fault_rate)
+           else None);
+        seed = common.Tcheck_cli.seed;
+        backend = common.Tcheck_cli.backend;
+        metrics;
+      }
+    in
+    let spec =
+      match theta with
+      | Some theta ->
+        Smc.Runner.Sequential { theta; delta; alpha; beta; max_samples }
+      | None -> Smc.Runner.Fixed { eps; delta }
+    in
+    let label =
+      Printf.sprintf "a%d/%s" approach (Eee.Eee_spec.op_name op)
+    in
+    let sinks =
+      match common.Tcheck_cli.trace_file with
+      | Some out -> [ Verif.Campaign.jsonl_file_sink out ]
+      | None -> []
+    in
+    let report =
+      try
+        Smc.Runner.run ~metrics ~workers:common.Tcheck_cli.jobs
+          ?chunk:common.Tcheck_cli.chunk ?window:common.Tcheck_cli.window
+          ~sinks ~label
+          ~job:(fun ~index ->
+            Eee.Harness.smc_sample_job plan ~approach ~op ~index)
+          ~succeeded:(Eee.Harness.smc_succeeded ?prop)
+          spec
+      with Invalid_argument msg | Failure msg ->
+        Printf.eprintf "smc: %s\n" msg;
+        exit 2
+    in
+    (match common.Tcheck_cli.metrics_file with
+    | None -> ()
+    | Some out -> (
+      try Obs.Export.write_jsonl out metrics
+      with Sys_error msg ->
+        Printf.eprintf "--metrics: %s\n" msg;
+        exit 2));
+    let monitored =
+      match prop with
+      | Some name -> name
+      | None -> Eee.Eee_spec.property_name op
+    in
+    Format.printf "campaign %s: property %s, fault stimuli %s@." label
+      monitored
+      (Smc.Faults.to_string faults);
+    Format.printf
+      "%d samples (%d successes, %d sample errors), %.2fs wall@."
+      report.Smc.Runner.samples report.Smc.Runner.successes
+      (List.length report.Smc.Runner.errors)
+      report.Smc.Runner.wall_seconds;
+    (match report.Smc.Runner.decision with
+    | Smc.Runner.Estimate ->
+      Format.printf
+        "estimate: p = %.4f +/- %.3f with confidence %g (Chernoff N = %d)@."
+        report.Smc.Runner.p_hat eps delta report.Smc.Runner.chernoff_n
+    | Smc.Runner.Accept_h0 | Smc.Runner.Accept_h1 ->
+      let theta = match theta with Some t -> t | None -> assert false in
+      (match report.Smc.Runner.decision with
+      | Smc.Runner.Accept_h0 ->
+        Format.printf "H0 accepted: P(%s holds) >= %.3f@." monitored
+          (theta -. delta)
+      | Smc.Runner.Accept_h1 ->
+        Format.printf "H1 accepted: P(%s holds) <= %.3f@." monitored
+          (theta +. delta)
+      | Smc.Runner.Estimate -> assert false);
+      Format.printf
+        "SPRT %s after %d samples (p_hat = %.4f); fixed-size bound %d@."
+        (if report.Smc.Runner.forced then "truncated (forced decision)"
+         else if report.Smc.Runner.early_stopped then "early-stopped"
+         else "stopped")
+        report.Smc.Runner.samples report.Smc.Runner.p_hat
+        report.Smc.Runner.chernoff_n;
+      match report.Smc.Runner.stream with
+      | Some stream when stream.Verif.Campaign.cancelled_jobs > 0 ->
+        Format.printf "cancelled %d queued samples on decision@."
+          stream.Verif.Campaign.cancelled_jobs
+      | _ -> ());
+    List.iter
+      (fun (label, msg) -> Format.printf "sample error %s: %s@." label msg)
+      report.Smc.Runner.errors;
+    if report.Smc.Runner.errors <> [] then 2
+    else
+      match report.Smc.Runner.decision with
+      | Smc.Runner.Accept_h1 -> 1
+      | Smc.Runner.Accept_h0 | Smc.Runner.Estimate -> 0
+  in
+  let approach =
+    Arg.(value & opt int 2 & info [ "approach" ] ~doc:"1 or 2")
+  in
+  let op =
+    Arg.(value & opt string "read" & info [ "op" ]
+           ~doc:"read|write|startup1|startup2|format|prepare|refresh \
+                 (one operation per run)")
+  in
+  let cases =
+    Arg.(value & opt int 1 & info [ "cases" ]
+           ~doc:"Test cases per sample (each sample is one \
+                 constrained-random campaign against a fresh session)")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Use the quick flash timing (20x faster erase/program) \
+                 so each sample runs in milliseconds")
+  in
+  let theta =
+    Arg.(value & opt (some float) None & info [ "theta" ] ~docv:"THETA"
+           ~doc:"Run the sequential probability ratio test of H0: \
+                 P(property) >= THETA+delta against H1: P(property) <= \
+                 THETA-delta; without --theta the campaign runs the \
+                 fixed-size Chernoff-Hoeffding estimation instead")
+  in
+  let eps =
+    Arg.(value & opt float 0.05 & info [ "eps" ]
+           ~doc:"Accuracy of the fixed-size estimate (half-width of the \
+                 confidence interval)")
+  in
+  let delta =
+    Arg.(value & opt float 0.05 & info [ "delta" ]
+           ~doc:"Confidence of the fixed-size estimate, or the \
+                 indifference half-width of the sequential test")
+  in
+  let alpha =
+    Arg.(value & opt float 0.05 & info [ "alpha" ]
+           ~doc:"SPRT type-I error bound (rejecting a true H0)")
+  in
+  let beta =
+    Arg.(value & opt float 0.05 & info [ "beta" ]
+           ~doc:"SPRT type-II error bound (accepting a false H0)")
+  in
+  let max_samples =
+    Arg.(value & opt (some int) None & info [ "max-samples" ]
+           ~doc:"Truncate the sequential test after this many samples \
+                 (default: the Chernoff bound for the same parameters)")
+  in
+  let fault =
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"KNOB"
+           ~doc:"Probabilistic fault stimulus, repeatable: \
+                 $(b,decay=P) (per-tick flash bit decay), \
+                 $(b,power-loss=P) (torn writes / partial erases), \
+                 $(b,jitter=P:MAX) (handshake timing jitter, derived \
+                 model only)")
+  in
+  let prop =
+    Arg.(value & opt (some string) None & info [ "prop" ] ~docv:"NAME"
+           ~doc:"Judge samples by this property's verdict (default: the \
+                 conjunction of all registered properties)")
+  in
+  let bound =
+    Arg.(value & opt (some int) None & info [ "bound" ]
+           ~doc:"Time bound of the response property")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.02 & info [ "fault-rate" ]
+           ~doc:"Flash program/erase fault-injection probability")
+  in
+  Cmd.v
+    (Cmd.info "smc"
+       ~doc:"Statistical model checking over fault-injected campaigns")
+    Term.(const action $ approach $ op $ cases $ quick $ theta $ eps
+          $ delta $ alpha $ beta $ max_samples $ fault $ prop $ bound
+          $ fault_rate $ Tcheck_cli.term ~default_seed:7)
+
 let cmd_metrics =
   let action path =
     match Obs.Export.validate_snapshot_file path with
@@ -479,5 +695,6 @@ let () =
           (Cmd.info "tcheck" ~version:"1.0.0" ~doc)
           [
             cmd_parse; cmd_run; cmd_compile; cmd_sim; cmd_automaton;
-            cmd_verify; cmd_bmc; cmd_absref; cmd_eee; cmd_metrics;
+            cmd_verify; cmd_bmc; cmd_absref; cmd_eee; cmd_smc;
+            cmd_metrics;
           ]))

@@ -18,6 +18,7 @@ val flash_quick_config : fault_rate:float -> Dataflash.Flash.config
 val approach1 :
   ?fault_rate:float ->
   ?flash:Dataflash.Flash.config ->
+  ?faults:Smc.Faults.t ->
   ?seed:int ->
   ?chunk_cycles:int ->
   ?trace:Verif.Trace.t ->
@@ -32,6 +33,7 @@ val approach1 :
 val approach2 :
   ?fault_rate:float ->
   ?flash:Dataflash.Flash.config ->
+  ?faults:Smc.Faults.t ->
   ?seed:int ->
   ?chunk_statements:int ->
   ?backend:Minic.Exec.kind ->
@@ -61,6 +63,11 @@ type plan = {
   bound : int option;  (** response-property time bound *)
   engine : Sctc.Checker.engine;
   fault_rate : float;  (** flash fault-injection probability *)
+  faults : Smc.Faults.t;
+      (** probabilistic fault stimuli (bit decay, power loss, handshake
+          jitter) applied to every job's session; {!Smc.Faults.none}
+          (the default) leaves sessions byte-identical to a plan without
+          the field *)
   watchdog_chunks : int;
   seed : int;  (** campaign master seed *)
   flash : Dataflash.Flash.config option;
@@ -101,3 +108,26 @@ val run_campaign_stream :
     to [sinks] in job order as soon as ordering allows, under a bounded
     reassembly [window] — the JSONL a streaming sink receives is byte
     for byte what {!run_campaign} plus [Campaign.to_jsonl] produces. *)
+
+(** {2 Statistical model checking}
+
+    {!Smc.Runner} samples: each sample index is one full
+    constrained-random campaign of [plan.cases_per_op] cases against a
+    fresh session, with stimulus (session seed, driver seed) derived
+    from {!Stimuli.Prng.of_seed_index} of the plan seed — sample [i] is
+    the same run regardless of worker count or how many samples the
+    estimator ends up drawing. *)
+
+val smc_sample_job :
+  plan -> approach:int -> op:Eee_spec.op -> index:int -> Verif.Campaign.job
+(** The job of sample [index], labelled ["a<approach>/<op>/#<index>"].
+    Forces the memoized program forms on the calling domain (call it
+    from the domain that builds the job list, as {!Smc.Runner.run}
+    does). *)
+
+val smc_succeeded : ?prop:string -> Verif.Campaign.outcome -> bool
+(** The Bernoulli verdict of one sample: [true] when the property was
+    not violated — {!Verif.Result.overall} by default, the named
+    property's verdict with [prop]. A crashed job counts as a failure.
+    @raise Invalid_argument for unknown property names (which surfaces
+    as the campaign's sink failure). *)

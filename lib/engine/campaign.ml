@@ -17,6 +17,7 @@ type stream_stats = {
   emitted : int;
   backpressure_waits : int;
   backpressure_seconds : float;
+  cancelled_jobs : int;
 }
 
 type summary = {
@@ -30,6 +31,18 @@ type summary = {
 type sink = { on_outcome : outcome -> unit; on_close : unit -> unit }
 
 let job ~label run = { label; run }
+
+(* Cooperative early stopping (the SMC sequential test's lever): a
+   cancelled campaign stops claiming new work at the next chunk
+   boundary, so the executed set is always a contiguous prefix of the
+   job list — every claimed chunk runs to completion, every executed
+   outcome still reaches the reassembly frontier, and no deposit can
+   wait on an index that was never started. *)
+type cancellation = bool Atomic.t
+
+let cancellation () = Atomic.make false
+let cancel token = Atomic.set token true
+let cancelled token = Atomic.get token
 
 (* metric handles for one campaign run, resolved once before the pool
    spawns; recording from worker domains lands in per-domain cells, so
@@ -121,11 +134,16 @@ let default_chunk ~count ~pool = max 1 (count / (pool * 4))
 (* The pool scaffolding shared by both engines: claim chunks, execute
    each claimed job, hand the outcome to [deposit]. The seed engine's
    deposit writes a private slot; the streaming engine's deposit goes
-   through the ordered reassembly buffer. Returns the queue stats. *)
-let run_pool ~meters ~pool ~chunk ~count ~execute ~deposit =
+   through the ordered reassembly buffer. [stop] is polled at chunk
+   claims only (and per job on the inline path): a claimed chunk always
+   runs to completion, keeping the executed set a contiguous prefix.
+   Returns the queue stats. *)
+let run_pool ~meters ~pool ~chunk ~count ~stop ~execute ~deposit =
   if pool = 1 then begin
-    for index = 0 to count - 1 do
-      deposit (execute index)
+    let index = ref 0 in
+    while !index < count && not (stop ()) do
+      deposit (execute !index);
+      incr index
     done;
     { chunk; acquisitions = 0; contention = 0 }
   end
@@ -135,26 +153,29 @@ let run_pool ~meters ~pool ~chunk ~count ~execute ~deposit =
     let acquisitions = Atomic.make 0 in
     let contention = Atomic.make 0 in
     let take_chunk () =
-      let wait_started =
-        if meters.metered then Unix.gettimeofday () else 0.0
-      in
-      if not (Mutex.try_lock lock) then begin
-        Atomic.incr contention;
-        Mutex.lock lock
-      end;
-      if meters.metered then
-        Registry.Timer.observe meters.m_queue_wait
-          (Unix.gettimeofday () -. wait_started);
-      Atomic.incr acquisitions;
-      let lo = !next in
-      let hi = min count (lo + chunk) in
-      next := hi;
-      Mutex.unlock lock;
-      if lo < hi then begin
-        Registry.Counter.incr meters.m_claims;
-        Some (lo, hi)
+      if stop () then None
+      else begin
+        let wait_started =
+          if meters.metered then Unix.gettimeofday () else 0.0
+        in
+        if not (Mutex.try_lock lock) then begin
+          Atomic.incr contention;
+          Mutex.lock lock
+        end;
+        if meters.metered then
+          Registry.Timer.observe meters.m_queue_wait
+            (Unix.gettimeofday () -. wait_started);
+        Atomic.incr acquisitions;
+        let lo = !next in
+        let hi = min count (lo + chunk) in
+        next := hi;
+        Mutex.unlock lock;
+        if lo < hi then begin
+          Registry.Counter.incr meters.m_claims;
+          Some (lo, hi)
+        end
+        else None
       end
-      else None
     in
     let rec drain () =
       match take_chunk () with
@@ -195,6 +216,7 @@ let run ?(metrics = Registry.null) ?(workers = 1) ?chunk jobs =
      covers the index) and read only after every domain joined. *)
   let queue =
     run_pool ~meters ~pool ~chunk ~count
+      ~stop:(fun () -> false)
       ~execute:(fun index -> metered_execute meters index jobs.(index))
       ~deposit:(fun outcome -> slots.(outcome.index) <- Some outcome)
   in
@@ -313,7 +335,7 @@ let deposit reassembly meters sinks outcome =
 let default_window ~pool = max 4 (2 * pool)
 
 let run_stream ?(metrics = Registry.null) ?(workers = 1) ?chunk ?window
-    ?(sinks = []) jobs =
+    ?cancel ?(sinks = []) jobs =
   let meters = make_meters metrics in
   let started = Unix.gettimeofday () in
   let jobs = Array.of_list jobs in
@@ -340,10 +362,13 @@ let run_stream ?(metrics = Registry.null) ?(workers = 1) ?chunk ?window
   in
   let queue =
     run_pool ~meters ~pool ~chunk ~count
+      ~stop:
+        (match cancel with
+        | None -> fun () -> false
+        | Some token -> fun () -> cancelled token)
       ~execute:(fun index -> metered_execute meters index jobs.(index))
       ~deposit:(fun outcome -> deposit reassembly meters sinks outcome)
   in
-  assert (reassembly.r_next = count && reassembly.r_emitted = count);
   List.iter
     (fun sink ->
       try sink.on_close ()
@@ -351,11 +376,18 @@ let run_stream ?(metrics = Registry.null) ?(workers = 1) ?chunk ?window
         if reassembly.r_sink_error = None then
           reassembly.r_sink_error <- Some (Printexc.to_string exn))
     sinks;
+  (* a sink failure must resurface before any structural invariant is
+     checked: a cancelled-after-deciding campaign (the SMC early-stop
+     path) would otherwise mask the sink's Failure behind an assert on
+     the full-campaign emission count *)
   (match reassembly.r_sink_error with
   | Some message -> failwith ("Verif.Campaign.run_stream: sink failed: " ^ message)
   | None -> ());
+  let executed = reassembly.r_next in
+  assert (reassembly.r_emitted = executed);
+  assert (cancel <> None || executed = count);
   let outcomes =
-    Array.to_list reassembly.r_slots
+    Array.to_list (Array.sub reassembly.r_slots 0 executed)
     |> List.map (function Some outcome -> outcome | None -> assert false)
   in
   {
@@ -371,6 +403,7 @@ let run_stream ?(metrics = Registry.null) ?(workers = 1) ?chunk ?window
           emitted = reassembly.r_emitted;
           backpressure_waits = reassembly.r_waits;
           backpressure_seconds = reassembly.r_wait_seconds;
+          cancelled_jobs = count - executed;
         };
   }
 

@@ -59,10 +59,15 @@ type queue_stats = {
 type stream_stats = {
   window : int;  (** configured reassembly-window bound *)
   peak_window : int;  (** most outcomes ever parked at once *)
-  emitted : int;  (** outcomes emitted to the sinks (= job count) *)
+  emitted : int;
+      (** outcomes emitted to the sinks (= job count unless the
+          campaign was cancelled) *)
   backpressure_waits : int;
       (** deposits that blocked because the window was full *)
   backpressure_seconds : float;  (** total time spent in those waits *)
+  cancelled_jobs : int;
+      (** jobs never started because the campaign was cancelled first;
+          0 for a campaign that ran to completion *)
 }
 
 type summary = {
@@ -87,6 +92,28 @@ type sink = { on_outcome : outcome -> unit; on_close : unit -> unit }
 
 val job : label:string -> (Trace.t -> Result.t) -> job
 
+(** {2 Early stopping}
+
+    Cooperative cancellation for {!run_stream} — the statistical model
+    checker's lever ({!Smc.Runner}): a sequential test that reaches a
+    decision cancels the rest of the campaign. Cancellation is polled
+    at chunk-claim time only, so every claimed chunk runs to
+    completion and the executed set is always a contiguous prefix of
+    the job list: every executed outcome still reaches the sinks in
+    order, no worker is left blocked on the reassembly window, and the
+    window drains to empty before the pool joins. *)
+
+type cancellation
+
+val cancellation : unit -> cancellation
+(** A fresh token, initially not cancelled. *)
+
+val cancel : cancellation -> unit
+(** Request early stop; safe from any domain — including a sink running
+    under the reassembly lock. Idempotent. *)
+
+val cancelled : cancellation -> bool
+
 val run :
   ?metrics:Obs.Registry.t -> ?workers:int -> ?chunk:int -> job list -> summary
 (** Execute the campaign on [workers] domains (default 1; clamped to the
@@ -110,6 +137,7 @@ val run_stream :
   ?workers:int ->
   ?chunk:int ->
   ?window:int ->
+  ?cancel:cancellation ->
   ?sinks:sink list ->
   job list ->
   summary
@@ -129,6 +157,14 @@ val run_stream :
     The summary's [outcomes] keep label/result but drop the event
     buffers ([events = []]); [stream] carries the {!stream_stats}.
     Merged counters, {!verdicts} and {!errors} work unchanged.
+
+    With a [cancel] token, {!cancel} stops the campaign at the next
+    chunk boundary: the summary covers exactly the executed prefix
+    (never dropping an already-emitted outcome),
+    [stream.cancelled_jobs] counts the jobs never started, and a sink
+    failure recorded before the cancel still resurfaces as the
+    [Failure]. Pass [~chunk:1] when cancellation latency matters more
+    than queue traffic (the sequential-test default).
 
     On top of {!run}'s metrics, a live [metrics] registry records the
     [campaign_stream_window] gauge (outcomes currently parked; sample

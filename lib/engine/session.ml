@@ -16,6 +16,9 @@ type config = {
   chunk : int;
   seed : int;
   flash : Flash.config option;
+  flash_faults : Flash.fault_config;
+  jitter_prob : float;
+  jitter_max : int;
   flag : string option;
   exec_backend : Minic.Exec.kind;
   trace : Trace.t;
@@ -33,6 +36,9 @@ let default_config =
     chunk = 60;
     seed = 42;
     flash = None;
+    flash_faults = Flash.no_faults;
+    jitter_prob = 0.0;
+    jitter_max = 0;
     flag = None;
     exec_backend = Minic.Exec.Auto;
     trace = Trace.null;
@@ -340,6 +346,7 @@ let build_soc config compiled =
         (match config.flash with
         | Some flash -> flash
         | None -> base.Platform.Soc.flash);
+      flash_faults = config.flash_faults;
     }
   in
   let soc = Platform.Soc.create ~config:soc_config () in
@@ -359,7 +366,8 @@ let build_model config derived =
     | None -> Flash.default_config
   in
   let flash =
-    Flash.create ~prng:(Stimuli.Prng.split prng "flash-faults") flash_config
+    Flash.create ~prng:(Stimuli.Prng.split prng "flash-faults")
+      ~faults:config.flash_faults flash_config
   in
   let ctrl = Flash_ctrl.create flash in
   Esw.Vmem.map_device vmem (Flash_ctrl.ctrl_device ctrl ~base:Map.flash_ctrl_base);
@@ -368,10 +376,24 @@ let build_model config derived =
        ~size:(min Map.flash_window_size (Flash.size_words flash)));
   let mbox = Platform.Mailbox.create () in
   Esw.Vmem.map_device vmem (Platform.Mailbox.device mbox ~base:Map.mailbox_base);
+  (* handshake timing jitter: its own substream of the session master
+     stream, only materialized when enabled so jitter-free sessions draw
+     nothing extra *)
+  let jitter =
+    if config.jitter_prob > 0.0 && config.jitter_max > 0 then begin
+      let stream = Stimuli.Prng.split prng "handshake-jitter" in
+      Some
+        (fun () ->
+          if Stimuli.Prng.chance stream config.jitter_prob then
+            Stimuli.Prng.int_range stream ~lo:1 ~hi:config.jitter_max
+          else 0)
+    end
+    else None
+  in
   let model =
     Esw.Esw_model.create kernel ~seed:config.seed
       ~on_tick:(fun () -> Flash.tick flash)
-      ~backend:config.exec_backend derived ~vmem
+      ?jitter ~backend:config.exec_backend derived ~vmem
   in
   (kernel, model, mbox)
 

@@ -36,6 +36,21 @@ type config = {
   chunk : int;  (** time units per {!advance} *)
   seed : int;  (** stimulus master seed *)
   flash : Dataflash.Flash.config option;  (** [None]: platform default *)
+  flash_faults : Dataflash.Flash.fault_config;
+      (** probabilistic fault-injection overlay on the flash model (bit
+          decay, power loss mid-operation), applied to both the SoC and
+          the derived-model flash; {!Dataflash.Flash.no_faults} (the
+          default) draws nothing and is bit-identical to the seed
+          model *)
+  jitter_prob : float;
+  jitter_max : int;
+      (** handshake timing jitter for the derived model: with
+          [jitter_prob] per executed statement, stretch the statement by
+          1..[jitter_max] extra time units (statement counts, and with
+          them property time bases, are unaffected — only kernel-time
+          cost). Disabled unless both are positive; drawn from the
+          session seed's ["handshake-jitter"] substream. The SoC backend
+          ignores it (its timing is the cycle clock). *)
   flag : string option;
       (** approach-1 only: attach the ESW monitor with this
           initialization-flag variable instead of a bare clock trigger *)
@@ -52,8 +67,8 @@ type config = {
 
 val default_config : config
 (** ["session"], on-the-fly engine, no properties, no bound, fuel 50e6,
-    chunk 60, seed 42, default flash, no flag, auto exec backend, null
-    trace, null metrics registry. *)
+    chunk 60, seed 42, default flash, no injected faults or jitter, no
+    flag, auto exec backend, null trace, null metrics registry. *)
 
 type t
 

@@ -14,7 +14,7 @@ type t = {
   mutable stmt_count : int;
 }
 
-let create kernel ?(seed = 42) ?(on_tick = fun () -> ())
+let create kernel ?(seed = 42) ?(on_tick = fun () -> ()) ?jitter
     ?(backend = Minic.Exec.Auto) derived ~vmem =
   let pc_ev = Sim.Kernel.event kernel "esw_pc_event" in
   let exec = Minic.Exec.create ~backend derived.C2sc.model_info in
@@ -43,7 +43,11 @@ let create kernel ?(seed = 42) ?(on_tick = fun () -> ())
           model.stmt_count <- model.stmt_count + 1;
           on_tick ();
           Sim.Kernel.notify pc_ev;
-          Sim.Kernel.wait_for kernel 1);
+          (* timing jitter stretches the statement's simulated duration;
+             statement count (and therefore the property time base under
+             [statements]-driven bounds) is unaffected *)
+          let extra = match jitter with None -> 0 | Some draw -> draw () in
+          Sim.Kernel.wait_for kernel (1 + max 0 extra));
       on_function_entry = (fun _ -> ());
     };
   model

@@ -27,10 +27,19 @@ val create :
   Sim.Kernel.t ->
   ?seed:int ->
   ?on_tick:(unit -> unit) ->
+  ?jitter:(unit -> int) ->
   ?backend:Minic.Exec.kind ->
   C2sc.derived ->
   vmem:Vmem.t ->
   t
+(** [jitter] (default none) is drawn once per executed statement; a
+    positive result adds that many extra simulation time units to the
+    statement's duration — probabilistic handshake timing jitter for
+    statistical model checking. The statement count itself (and with it
+    {!statements}) is unaffected; only the kernel-time cost of each
+    statement stretches, so time-budgeted runs cover fewer statements
+    and busy-wait handshakes can expire. Draw jitter from a dedicated
+    {!Stimuli.Prng} substream to keep runs replayable. *)
 
 val derived : t -> C2sc.derived
 

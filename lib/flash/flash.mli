@@ -26,7 +26,28 @@ type config = {
 val default_config : config
 (** 4 blocks x 128 words, erase 50 ticks, write 5 ticks, no faults. *)
 
-val create : ?prng:Stimuli.Prng.t -> config -> t
+type fault_config = {
+  decay_prob : float;
+      (** per-tick chance that one low bit of a random programmed word
+          relaxes back toward the erased all-ones state — silent
+          retention loss, no fault status *)
+  power_loss_prob : float;
+      (** per accepted operation: chance power is lost mid-way, leaving
+          a torn result (a write with a random subset of bits never
+          programmed; an erase with only a prefix of the block blank)
+          and the device in [Fault] *)
+}
+(** Probabilistic fault-injection overlay for statistical model
+    checking ({!Smc}): unlike [write_fail_prob]/[erase_fail_prob]
+    (the paper's fixed-stimulus fault knobs, drawn from the main PRNG),
+    each overlay class draws from its own substream, so enabling one
+    never shifts another — and a zero-probability class draws nothing,
+    keeping fault-free runs bit-identical to the seed model. *)
+
+val no_faults : fault_config
+
+val create : ?prng:Stimuli.Prng.t -> ?faults:fault_config -> config -> t
+(** [faults] defaults to {!no_faults}. *)
 
 val config : t -> config
 val size_words : t -> int
@@ -68,6 +89,14 @@ val ticks_remaining : t -> int
 val writes_completed : t -> int
 val erases_completed : t -> int
 val faults_injected : t -> int
+
+val fault_config : t -> fault_config
+
+val decays_injected : t -> int
+(** Bits decayed so far (visible cell changes only). *)
+
+val power_losses_injected : t -> int
+(** Operations torn by an injected power loss. *)
 
 val reset : t -> unit
 (** Erase everything, clear faults and statistics (bad blocks persist). *)

@@ -14,6 +14,8 @@ let reg_result = 4
 let reg_blank = 5
 let reg_geom_blocks = 6
 let reg_geom_words = 7
+let reg_decays = 8
+let reg_power_losses = 9
 
 let cmd_program = 1
 let cmd_erase = 2
@@ -79,6 +81,8 @@ let ctrl_device ctrl ~base =
     else if offset = reg_geom_blocks then (Flash.config ctrl.fl).Flash.num_blocks
     else if offset = reg_geom_words then
       (Flash.config ctrl.fl).Flash.words_per_block
+    else if offset = reg_decays then Flash.decays_injected ctrl.fl
+    else if offset = reg_power_losses then Flash.power_losses_injected ctrl.fl
     else 0
   in
   let write offset value =
@@ -87,7 +91,7 @@ let ctrl_device ctrl ~base =
     else if offset = reg_data then ctrl.data <- value
     (* other registers read-only *)
   in
-  { Cpu.Bus.dev_name = "flash-ctrl"; base; size = 8; read; write }
+  { Cpu.Bus.dev_name = "flash-ctrl"; base; size = 10; read; write }
 
 let window_device ctrl ~base ~size =
   {

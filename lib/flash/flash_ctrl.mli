@@ -13,6 +13,8 @@
       5  BLANK   read: 1 when block ADDR is fully erased
       6  GEOM_B  read: number of blocks
       7  GEOM_W  read: words per block
+      8  DECAYS  read: bits decayed by the fault-injection overlay
+      9  PLOSS   read: operations torn by an injected power loss
     v}
 
     A separate read-only window maps the whole flash array for direct reads
@@ -25,7 +27,7 @@ val create : Flash.t -> t
 val flash : t -> Flash.t
 
 val ctrl_device : t -> base:int -> Cpu.Bus.device
-(** The 8-register controller at [base]. *)
+(** The 10-register controller at [base]. *)
 
 val window_device : t -> base:int -> size:int -> Cpu.Bus.device
 (** Read-only window of the first [size] flash words at [base]. Writes into
@@ -41,6 +43,8 @@ val reg_result : int
 val reg_blank : int
 val reg_geom_blocks : int
 val reg_geom_words : int
+val reg_decays : int
+val reg_power_losses : int
 
 val cmd_program : int
 val cmd_erase : int

@@ -2,10 +2,20 @@ module Flash = Dataflash.Flash
 module Flash_ctrl = Dataflash.Flash_ctrl
 module Map = Cpu.Memory_map
 
-type config = { clock_period : int; flash : Flash.config; seed : int }
+type config = {
+  clock_period : int;
+  flash : Flash.config;
+  flash_faults : Flash.fault_config;
+  seed : int;
+}
 
 let default_config =
-  { clock_period = 10; flash = Flash.default_config; seed = 42 }
+  {
+    clock_period = 10;
+    flash = Flash.default_config;
+    flash_faults = Flash.no_faults;
+    seed = 42;
+  }
 
 type t = {
   cfg : config;
@@ -33,7 +43,7 @@ let create ?(config = default_config) () =
   let master_prng = Stimuli.Prng.create ~seed:config.seed in
   let flash_model =
     Flash.create ~prng:(Stimuli.Prng.split master_prng "flash-faults")
-      config.flash
+      ~faults:config.flash_faults config.flash
   in
   let flash_ctrl = Flash_ctrl.create flash_model in
   Cpu.Bus.attach bus (Flash_ctrl.ctrl_device flash_ctrl ~base:Map.flash_ctrl_base);

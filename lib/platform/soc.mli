@@ -13,6 +13,9 @@ type t
 type config = {
   clock_period : int;
   flash : Dataflash.Flash.config;
+  flash_faults : Dataflash.Flash.fault_config;
+      (** probabilistic fault-injection overlay (default
+          {!Dataflash.Flash.no_faults}) *)
   seed : int;  (** master PRNG seed for stimulus *)
 }
 

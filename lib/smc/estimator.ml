@@ -1,0 +1,140 @@
+(* Statistical estimators over Bernoulli verdict streams — the math of
+   Ngo & Legay's SystemC statistical model checking, over this repo's
+   campaign outcomes. Both estimators are pure consumers of booleans:
+   nothing here knows about sessions or simulators, which is what makes
+   the test battery deterministic. *)
+
+module Chernoff = struct
+  (* the additive Chernoff–Hoeffding bound: with
+       N >= ln(2/delta) / (2 eps^2)
+     samples, P(|p_hat - p| > eps) <= delta *)
+  let sample_count ~eps ~delta =
+    if not (eps > 0.0 && eps < 1.0) then
+      invalid_arg "Smc.Estimator.Chernoff.sample_count: eps must be in (0,1)";
+    if not (delta > 0.0 && delta < 1.0) then
+      invalid_arg "Smc.Estimator.Chernoff.sample_count: delta must be in (0,1)";
+    int_of_float (ceil (log (2.0 /. delta) /. (2.0 *. eps *. eps)))
+
+  type estimate = {
+    samples : int;
+    successes : int;
+    p_hat : float;
+    eps : float;  (** half-width of the confidence interval *)
+    delta : float;  (** P(|p_hat - p| > eps) <= delta *)
+  }
+
+  let estimate ~eps ~delta ~samples ~successes =
+    if samples < sample_count ~eps ~delta then
+      invalid_arg
+        "Smc.Estimator.Chernoff.estimate: fewer samples than the bound \
+         requires";
+    if successes < 0 || successes > samples then
+      invalid_arg "Smc.Estimator.Chernoff.estimate: successes out of range";
+    {
+      samples;
+      successes;
+      p_hat = float_of_int successes /. float_of_int samples;
+      eps;
+      delta;
+    }
+end
+
+module Sprt = struct
+  type decision = H0 | H1
+  type status = Undecided | Decided of decision
+
+  type t = {
+    theta : float;
+    delta : float;
+    alpha : float;
+    beta : float;
+    max_samples : int;
+    accept_h1 : float; (* llr >= this: accept H1 *)
+    accept_h0 : float; (* llr <= this: accept H0 *)
+    llr_success : float; (* ln (p1/p0), < 0 *)
+    llr_failure : float; (* ln ((1-p1)/(1-p0)), > 0 *)
+    mutable llr : float;
+    mutable samples : int;
+    mutable successes : int;
+    mutable status : status;
+    mutable forced : bool;
+  }
+
+  (* the fixed-sample-size competitor: estimate p to within the
+     indifference half-width delta, with confidence matching the
+     stricter of the two error bounds — what a Chernoff–Hoeffding test
+     of the same hypothesis would need *)
+  let chernoff_bound ~delta ~alpha ~beta =
+    Chernoff.sample_count ~eps:delta ~delta:(min alpha beta)
+
+  let create ?max_samples ~theta ~delta ~alpha ~beta () =
+    if not (delta > 0.0) then
+      invalid_arg "Smc.Estimator.Sprt.create: delta must be > 0";
+    if not (theta -. delta > 0.0 && theta +. delta < 1.0) then
+      invalid_arg
+        "Smc.Estimator.Sprt.create: need 0 < theta - delta and \
+         theta + delta < 1";
+    if not (alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0) then
+      invalid_arg "Smc.Estimator.Sprt.create: alpha, beta must be in (0,1)";
+    let max_samples =
+      match max_samples with
+      | None -> chernoff_bound ~delta ~alpha ~beta
+      | Some m ->
+        if m < 1 then
+          invalid_arg "Smc.Estimator.Sprt.create: max_samples must be >= 1";
+        m
+    in
+    let p0 = theta +. delta and p1 = theta -. delta in
+    {
+      theta;
+      delta;
+      alpha;
+      beta;
+      max_samples;
+      accept_h1 = log ((1.0 -. beta) /. alpha);
+      accept_h0 = log (beta /. (1.0 -. alpha));
+      llr_success = log (p1 /. p0);
+      llr_failure = log ((1.0 -. p1) /. (1.0 -. p0));
+      llr = 0.0;
+      samples = 0;
+      successes = 0;
+      status = Undecided;
+      forced = false;
+    }
+
+  let status test = test.status
+  let samples test = test.samples
+  let successes test = test.successes
+  let max_samples test = test.max_samples
+  let forced test = test.forced
+
+  let p_hat test =
+    if test.samples = 0 then nan
+    else float_of_int test.successes /. float_of_int test.samples
+
+  (* Wald's boundaries on the log-likelihood ratio of
+       H1: p <= theta - delta  against  H0: p >= theta + delta.
+     A success (the property held on this sample) pushes toward H0, a
+     failure toward H1. If the walk is still between the boundaries
+     after [max_samples] observations — p sits in the indifference
+     region and neither boundary attracts — the test is truncated:
+     decide by comparing p_hat against theta, flagged as [forced]. *)
+  let observe test success =
+    (match test.status with
+    | Decided _ ->
+      invalid_arg "Smc.Estimator.Sprt.observe: test already decided"
+    | Undecided ->
+      test.samples <- test.samples + 1;
+      if success then begin
+        test.successes <- test.successes + 1;
+        test.llr <- test.llr +. test.llr_success
+      end
+      else test.llr <- test.llr +. test.llr_failure;
+      if test.llr >= test.accept_h1 then test.status <- Decided H1
+      else if test.llr <= test.accept_h0 then test.status <- Decided H0
+      else if test.samples >= test.max_samples then begin
+        test.forced <- true;
+        test.status <- Decided (if p_hat test >= test.theta then H0 else H1)
+      end);
+    test.status
+end

@@ -1,0 +1,81 @@
+(** Statistical estimators over Bernoulli verdict streams.
+
+    Pure consumers of success/failure booleans — nothing here touches a
+    session or a simulator, so the estimator test battery is exactly as
+    deterministic as its input stream. {!Runner} feeds them campaign
+    outcomes in emission order. *)
+
+(** Fixed sample size: the additive Chernoff–Hoeffding bound. *)
+module Chernoff : sig
+  val sample_count : eps:float -> delta:float -> int
+  (** [ceil (ln(2/delta) / (2 eps^2))] — with that many samples,
+      [P(|p_hat - p| > eps) <= delta].
+      @raise Invalid_argument unless [eps, delta] are in (0,1). *)
+
+  type estimate = {
+    samples : int;
+    successes : int;
+    p_hat : float;
+    eps : float;  (** half-width of the confidence interval *)
+    delta : float;  (** P(|p_hat - p| > eps) <= delta *)
+  }
+
+  val estimate :
+    eps:float -> delta:float -> samples:int -> successes:int -> estimate
+  (** Package a completed run.
+      @raise Invalid_argument if [samples] is below {!sample_count} or
+      [successes] is out of range. *)
+end
+
+(** Wald's sequential probability ratio test of
+    [H0: p >= theta + delta] against [H1: p <= theta - delta], with
+    error bounds [alpha] (rejecting a true H0) and [beta] (accepting a
+    false H0), truncated at [max_samples]. *)
+module Sprt : sig
+  type decision =
+    | H0  (** p >= theta + delta: the property holds often enough *)
+    | H1  (** p <= theta - delta *)
+
+  type status = Undecided | Decided of decision
+
+  type t
+
+  val create :
+    ?max_samples:int ->
+    theta:float ->
+    delta:float ->
+    alpha:float ->
+    beta:float ->
+    unit ->
+    t
+  (** [max_samples] defaults to {!chernoff_bound} — the truncation that
+      guarantees termination when the true [p] sits inside the
+      indifference region [(theta - delta, theta + delta)], where
+      neither boundary attracts the likelihood-ratio walk.
+      @raise Invalid_argument unless [0 < theta - delta],
+      [theta + delta < 1], [alpha, beta] in (0,1), [max_samples >= 1]. *)
+
+  val chernoff_bound : delta:float -> alpha:float -> beta:float -> int
+  (** The fixed-sample-size competitor for the same hypothesis:
+      {!Chernoff.sample_count} at accuracy [delta] and confidence
+      [min alpha beta]. Also the default truncation point. *)
+
+  val observe : t -> bool -> status
+  (** Feed one sample ([true] = the property held) and return the
+      status after it. At [max_samples] without a boundary crossing the
+      test is truncated: decided by [p_hat >= theta], flagged
+      {!forced}. @raise Invalid_argument once already decided. *)
+
+  val status : t -> status
+  val samples : t -> int
+  val successes : t -> int
+  val max_samples : t -> int
+
+  val forced : t -> bool
+  (** The decision came from truncation, not a Wald boundary — the
+      answer inside the indifference region is allowed to go either
+      way. *)
+
+  val p_hat : t -> float
+  (** [successes/samples] so far; [nan] before the first sample. *)
+end

@@ -1,0 +1,78 @@
+module Flash = Dataflash.Flash
+
+type t = {
+  decay : float;
+  power_loss : float;
+  jitter_prob : float;
+  jitter_max : int;
+}
+
+let none = { decay = 0.0; power_loss = 0.0; jitter_prob = 0.0; jitter_max = 0 }
+
+let is_none faults = faults = none
+
+let flash_faults faults =
+  { Flash.decay_prob = faults.decay; power_loss_prob = faults.power_loss }
+
+let apply faults config =
+  {
+    config with
+    Verif.Session.flash_faults = flash_faults faults;
+    jitter_prob = faults.jitter_prob;
+    jitter_max = faults.jitter_max;
+  }
+
+let prob_of_string knob value =
+  match float_of_string_opt value with
+  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+  | Some _ -> Error (Printf.sprintf "%s: probability must be in [0,1]" knob)
+  | None -> Error (Printf.sprintf "%s: expected a probability, got %S" knob value)
+
+(* "decay=P" | "power-loss=P" | "jitter=P:MAX" *)
+let parse_knob spec faults =
+  match String.index_opt spec '=' with
+  | None ->
+    Error
+      (Printf.sprintf
+         "%S: expected decay=P, power-loss=P or jitter=P:MAX" spec)
+  | Some i -> (
+    let knob = String.sub spec 0 i in
+    let value = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match knob with
+    | "decay" ->
+      Result.map (fun p -> { faults with decay = p }) (prob_of_string knob value)
+    | "power-loss" ->
+      Result.map
+        (fun p -> { faults with power_loss = p })
+        (prob_of_string knob value)
+    | "jitter" -> (
+      match String.index_opt value ':' with
+      | None -> Error "jitter: expected jitter=PROB:MAX_EXTRA_UNITS"
+      | Some j -> (
+        let prob = String.sub value 0 j in
+        let extra = String.sub value (j + 1) (String.length value - j - 1) in
+        match (prob_of_string knob prob, int_of_string_opt extra) with
+        | Ok p, Some m when m >= 1 ->
+          Ok { faults with jitter_prob = p; jitter_max = m }
+        | Ok _, _ -> Error "jitter: MAX_EXTRA_UNITS must be an int >= 1"
+        | (Error _ as e), _ -> e))
+    | other -> Error (Printf.sprintf "unknown fault knob %S" other))
+
+let of_specs specs =
+  List.fold_left
+    (fun acc spec -> Result.bind acc (parse_knob spec))
+    (Ok none) specs
+
+let to_string faults =
+  let parts =
+    (if faults.decay > 0.0 then [ Printf.sprintf "decay=%g" faults.decay ]
+     else [])
+    @ (if faults.power_loss > 0.0 then
+         [ Printf.sprintf "power-loss=%g" faults.power_loss ]
+       else [])
+    @
+    if faults.jitter_prob > 0.0 && faults.jitter_max > 0 then
+      [ Printf.sprintf "jitter=%g:%d" faults.jitter_prob faults.jitter_max ]
+    else []
+  in
+  match parts with [] -> "none" | parts -> String.concat "," parts

@@ -188,7 +188,7 @@ let test_repo_trajectory_decodes () =
             ("known table: " ^ row.Bench_log.table)
             true
             (List.mem row.Bench_log.table
-               [ "campaign"; "checker"; "simulate" ]))
+               [ "campaign"; "checker"; "simulate"; "smc" ]))
         rows
     | Error msg -> Alcotest.failf "repo trajectory no longer decodes: %s" msg
 

@@ -85,6 +85,54 @@ let check_golden_pooled () =
   Alcotest.(check string) "pooled run reproduces the golden bytes" golden
     (project (Campaign.to_jsonl summary))
 
+(* ---- fault injection ----------------------------------------------------- *)
+
+(* enabling the fault-injection hooks with every probability at zero
+   must not shift a single PRNG draw: the run stays byte-identical to
+   the goldens recorded before the hooks existed *)
+let check_golden_zero_rate_faults ~approach () =
+  let golden = read_file (Filename.concat "golden" (golden_file approach)) in
+  let zero =
+    { Smc.Faults.decay = 0.0; power_loss = 0.0; jitter_prob = 0.0;
+      jitter_max = 16 }
+  in
+  let summary =
+    Harness.run_campaign ~workers:1 { (plan approach) with Harness.faults = zero }
+  in
+  Alcotest.(check string) "zero-rate faults reproduce the golden bytes" golden
+    (project (Campaign.to_jsonl summary))
+
+(* a faulty run is replayable: the same (seed, fault config) produces
+   byte-identical traces whatever the worker count or backend — each
+   fault class draws from its own substream keyed off the session seed,
+   never from shared state *)
+let check_faulty_run_determinism () =
+  let faults =
+    { Smc.Faults.decay = 0.001; power_loss = 0.3; jitter_prob = 0.02;
+      jitter_max = 20 }
+  in
+  let run backend workers chunk =
+    let summary =
+      Harness.run_campaign ~workers ?chunk
+        { (plan 2) with Harness.faults = faults; backend }
+    in
+    project (Campaign.to_jsonl summary)
+  in
+  let reference = run Minic.Exec.Interp 1 None in
+  Alcotest.(check bool) "faulty trace is non-trivial" true
+    (String.length reference > 0);
+  List.iter
+    (fun (name, backend, workers, chunk) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s reproduces the jobs=1 interpreter bytes" name)
+        reference
+        (run backend workers chunk))
+    [
+      ("vm, jobs=1", Minic.Exec.Vm, 1, None);
+      ("interp, pooled", Minic.Exec.Interp, 2, Some 1);
+      ("vm, pooled", Minic.Exec.Vm, 2, Some 1);
+    ]
+
 (* ---- regeneration -------------------------------------------------------- *)
 
 let generate dir =
@@ -120,5 +168,14 @@ let () =
               (check_golden ~approach:2);
             Alcotest.test_case "approach 2, Read, pooled" `Quick
               check_golden_pooled;
+          ] );
+        ( "faults",
+          [
+            Alcotest.test_case "approach 1, zero-rate faults" `Quick
+              (check_golden_zero_rate_faults ~approach:1);
+            Alcotest.test_case "approach 2, zero-rate faults" `Quick
+              (check_golden_zero_rate_faults ~approach:2);
+            Alcotest.test_case "faulty run, workers x backends" `Quick
+              check_faulty_run_determinism;
           ] );
       ]

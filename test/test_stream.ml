@@ -325,6 +325,107 @@ let test_backpressure_caps_window () =
   Alcotest.(check int) "all 8 jobs crashed as scripted" 8
     (List.length (Campaign.errors summary))
 
+(* ---- cancellation -------------------------------------------------------- *)
+
+(* Early stop is contained: a sink cancels after the third emission
+   while every still-running job spins until it observes the token, so
+   the test deadlocks (and times out) if cancellation failed to reach
+   the workers. The executed set must be a contiguous prefix (no
+   emitted outcome dropped, none out of order), the parked-outcome
+   gauge must drain to zero, and cancelled_jobs must account for
+   exactly the jobs never started. Bounds on the prefix length: jobs
+   0..2 always run (three emissions are needed to trigger the cancel),
+   and at most one in-flight job per worker rides past it. *)
+let test_cancel_stops_workers_and_keeps_prefix () =
+  let total = 24 and workers = 4 in
+  let metrics = Registry.create () in
+  let cancel = Campaign.cancellation () in
+  let emitted_indices = ref [] in
+  let decider =
+    Campaign.sink (fun outcome ->
+        emitted_indices := outcome.Campaign.index :: !emitted_indices;
+        if List.length !emitted_indices = 3 then Campaign.cancel cancel)
+  in
+  let jobs =
+    List.init total (fun i ->
+        Campaign.job ~label:(Printf.sprintf "cancel-%d" i) (fun _trace ->
+            if i >= 3 then begin
+              let fuel = ref 2_000_000_000 in
+              while (not (Campaign.cancelled cancel)) && !fuel > 0 do
+                decr fuel;
+                Domain.cpu_relax ()
+              done
+            end;
+            failwith "scripted"))
+  in
+  let summary =
+    Campaign.run_stream ~metrics ~workers ~chunk:1 ~window:4 ~cancel
+      ~sinks:[ decider ] jobs
+  in
+  let emitted = List.rev !emitted_indices in
+  let executed = List.length emitted in
+  Alcotest.(check bool)
+    (Printf.sprintf "executed prefix within bounds (%d)" executed)
+    true
+    (executed >= 3 && executed <= 3 + workers);
+  Alcotest.(check (list int)) "emitted outcomes form a contiguous prefix"
+    (List.init executed Fun.id) emitted;
+  Alcotest.(check int) "summary covers exactly the executed prefix" executed
+    (List.length summary.Campaign.outcomes);
+  Alcotest.(check int) "every executed job crashed as scripted" executed
+    (List.length (Campaign.errors summary));
+  (match summary.Campaign.stream with
+  | None -> Alcotest.fail "stream stats missing"
+  | Some stats ->
+    Alcotest.(check int) "emitted matches the sink" executed
+      stats.Campaign.emitted;
+    Alcotest.(check int) "cancelled_jobs accounts for the rest"
+      (total - executed) stats.Campaign.cancelled_jobs);
+  Alcotest.(check (float 0.))
+    "stream-window gauge drains back to zero" 0.
+    (Registry.Gauge.value (Registry.gauge metrics "campaign_stream_window"));
+  Alcotest.(check int) "emission metric agrees" executed
+    (Registry.total metrics "campaign_stream_emitted_total")
+
+(* an unused token changes nothing: the campaign runs to completion and
+   reports zero cancelled jobs *)
+let test_unused_cancel_token_is_inert () =
+  let cancel = Campaign.cancellation () in
+  let summary =
+    Campaign.run_stream ~workers:2 ~cancel (make_jobs fixed_mix)
+  in
+  match summary.Campaign.stream with
+  | None -> Alcotest.fail "stream stats missing"
+  | Some stats ->
+    Alcotest.(check int) "nothing cancelled" 0 stats.Campaign.cancelled_jobs;
+    Alcotest.(check int) "every outcome emitted" (List.length fixed_mix)
+      stats.Campaign.emitted
+
+(* the regression this PR fixes: a campaign that is cancelled after a
+   sink already failed must still resurface the sink's Failure — the
+   executed-prefix invariant check must not mask it with an
+   Assert_failure on the shortened outcome list *)
+let test_cancelled_run_resurfaces_sink_failure () =
+  let cancel = Campaign.cancellation () in
+  let bomb =
+    Campaign.sink (fun outcome ->
+        if outcome.Campaign.index = 0 then failwith "late bomb")
+  in
+  let jobs =
+    List.init 6 (fun i ->
+        Campaign.job ~label:(Printf.sprintf "cb-%d" i) (fun _trace ->
+            if i = 2 then Campaign.cancel cancel;
+            failwith "scripted"))
+  in
+  match Campaign.run_stream ~workers:1 ~cancel ~sinks:[ bomb ] jobs with
+  | _summary ->
+    Alcotest.fail "sink failure must resurface despite the cancel"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "failure names the sink, not the cancel: %s" msg)
+      true
+      (contains ~needle:"sink failed" msg && contains ~needle:"late bomb" msg)
+
 (* ---- sharded output ------------------------------------------------------ *)
 
 let read_file path =
@@ -582,6 +683,15 @@ let () =
         [
           Alcotest.test_case "stalled job caps the reassembly window" `Quick
             test_backpressure_caps_window;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "early stop keeps a contiguous prefix" `Quick
+            test_cancel_stops_workers_and_keeps_prefix;
+          Alcotest.test_case "unused token is inert" `Quick
+            test_unused_cancel_token_is_inert;
+          Alcotest.test_case "sink failure resurfaces despite cancel" `Quick
+            test_cancelled_run_resurfaces_sink_failure;
         ] );
       ( "shards",
         [
