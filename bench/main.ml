@@ -39,7 +39,7 @@ let fig7_property op =
      Spec-tool flow would state it *)
   let info = (Eee.Eee_program.analysis_derive ()).Esw.C2sc.model_info in
   let entry_id = Minic.Typecheck.func_id info (Spec.entry_function op) in
-  let property = Fltl_parser.parse "G (p_called -> F[40] p_done)" in
+  let property = Sctc.Prop.parse_exn ~syntax:`Fltl "G (p_called -> F[40] p_done)" in
   let predicates =
     [
       ("p_called", Printf.sprintf "fname == %d" entry_id);
@@ -609,7 +609,7 @@ let run_checker_bench () =
     let properties_rev = ref [] in
     List.iter
       (fun (name, text) ->
-        legacy_add samplers properties_rev ~name (Fltl_parser.parse text))
+        legacy_add samplers properties_rev ~name (Sctc.Prop.parse_exn ~syntax:`Fltl text))
       checker_property_texts;
     let step () =
       incr tick;
@@ -617,37 +617,64 @@ let run_checker_bench () =
     in
     (properties_rev, step)
   in
-  (* correctness first: both steppers agree on every verdict, per step *)
-  let plan_checker, plan_probe = build_checker Checker.On_the_fly in
+  (* correctness first: every engine (and the pre-plan reference stepper)
+     agrees on every verdict, per step *)
+  let engine_checkers =
+    List.map
+      (fun engine ->
+        let checker, probe = build_checker engine in
+        (engine, checker, probe))
+      Sctc.Engine.all
+  in
+  let plan_checker =
+    match engine_checkers with (_, checker, _) :: _ -> checker | [] -> assert false
+  in
   let legacy_props, legacy_probe = build_legacy () in
   let agree = ref true in
   for _ = 1 to 2_000 do
-    plan_probe ();
     legacy_probe ();
-    if
-      List.map snd (Checker.verdicts plan_checker)
-      <> List.map snd (legacy_verdicts legacy_props)
-    then agree := false
+    let reference = List.map snd (legacy_verdicts legacy_props) in
+    List.iter
+      (fun (_, checker, probe) ->
+        probe ();
+        if List.map snd (Checker.verdicts checker) <> reference then
+          agree := false)
+      engine_checkers
   done;
-  (* warm both paths (transition cache, allocator), then time *)
+  (* warm each path (transition cache, allocator, promotions), then time *)
   let _, legacy_step = build_legacy () in
-  let _, plan_step = build_checker Checker.On_the_fly in
+  let _, plan_step = build_checker Checker.Otf in
   let _, explicit_step = build_checker Checker.Explicit in
+  let _, il_step = build_checker Checker.Il in
+  let _, hybrid_step = build_checker Checker.Hybrid in
+  let _, auto_step = build_checker Checker.Auto in
   ignore (time_triggers legacy_step warmup);
   ignore (time_triggers plan_step warmup);
   ignore (time_triggers explicit_step warmup);
+  ignore (time_triggers il_step warmup);
+  ignore (time_triggers hybrid_step warmup);
+  ignore (time_triggers auto_step warmup);
   let legacy_seconds = time_triggers legacy_step triggers in
   let cache_before = Transition_cache.stats () in
   let plan_seconds = time_triggers plan_step triggers in
   let cache_after = Transition_cache.stats () in
   let explicit_seconds = time_triggers explicit_step triggers in
+  let il_seconds = time_triggers il_step triggers in
+  let hybrid_seconds = time_triggers hybrid_step triggers in
+  let auto_seconds = time_triggers auto_step triggers in
   let tps seconds =
     if seconds > 0.0 then float_of_int triggers /. seconds else 0.0
   in
   let legacy_tps = tps legacy_seconds
   and plan_tps = tps plan_seconds
-  and explicit_tps = tps explicit_seconds in
+  and explicit_tps = tps explicit_seconds
+  and il_tps = tps il_seconds
+  and hybrid_tps = tps hybrid_seconds
+  and auto_tps = tps auto_seconds in
   let speedup = if legacy_tps > 0.0 then plan_tps /. legacy_tps else 0.0 in
+  (* the tentpole claim: one default engine at least as fast as both
+     fixed choices, within a 5% noise allowance *)
+  let auto_dominates = auto_tps >= 0.95 *. Float.max plan_tps explicit_tps in
   let hits = cache_after.Transition_cache.hits - cache_before.Transition_cache.hits in
   let misses =
     cache_after.Transition_cache.misses - cache_before.Transition_cache.misses
@@ -666,6 +693,12 @@ let run_checker_bench () =
     "compiled plan (on-the-fly)" plan_tps plan_seconds speedup;
   Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)\n"
     "compiled plan (explicit)" explicit_tps explicit_seconds;
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)\n"
+    "compiled plan (il tables)" il_tps il_seconds;
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)\n"
+    "compiled plan (hybrid)" hybrid_tps hybrid_seconds;
+  Printf.printf "  %-28s %12.0f triggers/s  (%.3fs)  dominates: %b\n"
+    "compiled plan (auto)" auto_tps auto_seconds auto_dominates;
   Printf.printf
     "  progression cache: %d hits, %d misses (steady-state hit rate %.4f)\n"
     hits misses hit_rate;
@@ -683,6 +716,10 @@ let run_checker_bench () =
          ("legacy_tps", Json.float legacy_tps);
          ("plan_tps", Json.float plan_tps);
          ("explicit_tps", Json.float explicit_tps);
+         ("il_tps", Json.float il_tps);
+         ("hybrid_tps", Json.float hybrid_tps);
+         ("auto_tps", Json.float auto_tps);
+         ("auto_dominates", Json.bool auto_dominates);
          ("speedup", Json.float speedup);
          ("prog_cache_hits", Json.int hits);
          ("prog_cache_misses", Json.int misses);
@@ -692,8 +729,9 @@ let run_checker_bench () =
   Printf.printf "recorded in BENCH_campaign.json\n\n";
   (* the CI gate: verdict agreement must always hold; the throughput
      bar is set below the documented steady-state speedup so a loaded
-     runner cannot flake it *)
-  !agree && speedup >= 2.0
+     runner cannot flake it; and the default engine must dominate both
+     fixed choices (within the 5% noise allowance above) *)
+  !agree && speedup >= 2.0 && auto_dominates
 
 (* ------------------------------------------------------------------ *)
 (* Simulate: bytecode VM vs tree-walking interpreter on the EEE model  *)
@@ -1012,17 +1050,17 @@ let run_ablation () =
           let t2 = Unix.gettimeofday () in
           let states =
             match engine with
-            | Checker.On_the_fly -> "-"
-            | Checker.Explicit | Checker.Via_il ->
+            | Checker.Otf | Checker.Hybrid | Checker.Auto -> "-"
+            | Checker.Explicit | Checker.Il ->
               string_of_int
                 (Ar_automaton.num_states
                    (Ar_automaton.synthesize
-                      (Fltl_parser.parse
+                      (Sctc.Prop.parse_exn ~syntax:`Fltl
                          (Printf.sprintf "G (req -> F[%d] ack)" bound))))
           in
           Printf.printf "%-7d %-12s %10.3f %10.3f %8s\n" bound engine_name
             (t1 -. t0) (t2 -. t1) states)
-        [ ("on-the-fly", Checker.On_the_fly); ("explicit", Checker.Explicit) ])
+        [ ("on-the-fly", Checker.Otf); ("explicit", Checker.Explicit) ])
     [ 100; 2000; 20000 ];
   print_newline ();
   print_endline "Ablation -- checker triggers per operation (Read, 20 cases)";
@@ -1063,7 +1101,7 @@ let micro_tests () =
            Sim.Kernel.run ~max_time:!horizon kernel))
   in
   let progression_bench =
-    let formula = Fltl_parser.parse "G (a -> F[100] b)" in
+    let formula = Sctc.Prop.parse_exn ~syntax:`Fltl "G (a -> F[100] b)" in
     let state = ref formula in
     let flip = ref false in
     Test.make ~name:"automata: progression step"
@@ -1076,7 +1114,7 @@ let micro_tests () =
   in
   let monitor_bench =
     let automaton =
-      Ar_automaton.synthesize (Fltl_parser.parse "G (a -> F[100] b)")
+      Ar_automaton.synthesize (Sctc.Prop.parse_exn ~syntax:`Fltl "G (a -> F[100] b)")
     in
     let flip = ref false in
     let monitor =

@@ -259,21 +259,6 @@ let cmd_verify =
     Arg.(value & opt int 2 & info [ "approach" ]
            ~doc:"0 = reference interpreter, 1 = microprocessor model, 2 = derived SystemC model")
   in
-  let engine =
-    let engines =
-      [
-        ("otf", Sctc.Checker.On_the_fly);
-        ("explicit", Sctc.Checker.Explicit);
-        ("il", Sctc.Checker.Via_il);
-      ]
-    in
-    Arg.(value & opt (enum engines) Sctc.Checker.On_the_fly
-           & info [ "engine" ] ~docv:"ENGINE"
-               ~doc:"Monitor synthesis engine: $(b,otf) (on-the-fly \
-                     progression with the lazy transition cache), \
-                     $(b,explicit) (pre-synthesized AR-automaton) or \
-                     $(b,il) (automaton via the IL representation)")
-  in
   let property =
     Arg.(value & opt_all string [] & info [ "property" ] ~docv:"PROPERTY"
            ~doc:"FLTL or PSL property over the declared propositions \
@@ -296,8 +281,9 @@ let cmd_verify =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Simulation-based temporal verification with SCTC")
-    Term.(const action $ file_arg $ approach $ engine $ property $ props
-          $ budget $ flag $ Tcheck_cli.term ~default_seed:42)
+    Term.(const action $ file_arg $ approach $ Tcheck_cli.engine_arg
+          $ property $ props $ budget $ flag
+          $ Tcheck_cli.term ~default_seed:42)
 
 let cmd_bmc =
   let action path unwind timeout =
@@ -356,7 +342,7 @@ let cmd_absref =
     Term.(const action $ file_arg $ timeout)
 
 let cmd_eee =
-  let action approach op_names cases scale bound fault_rate common =
+  let action approach engine op_names cases scale bound fault_rate common =
     let find_op name =
       match
         List.find_opt
@@ -390,6 +376,7 @@ let cmd_eee =
         Eee.Harness.default_plan with
         Eee.Harness.ops;
         approaches = [ approach ];
+        engine;
         cases_per_op = cases * scale;
         bound;
         fault_rate;
@@ -451,8 +438,8 @@ let cmd_eee =
   in
   Cmd.v
     (Cmd.info "eee" ~doc:"Run a case-study verification campaign")
-    Term.(const action $ approach $ op $ cases $ scale $ bound $ fault_rate
-          $ Tcheck_cli.term ~default_seed:7)
+    Term.(const action $ approach $ Tcheck_cli.engine_arg $ op $ cases
+          $ scale $ bound $ fault_rate $ Tcheck_cli.term ~default_seed:7)
 
 let cmd_smc =
   let action approach op_name cases quick theta eps delta alpha beta

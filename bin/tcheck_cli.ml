@@ -27,6 +27,36 @@ let backend_conv =
   Cmdliner.Arg.conv
     (parse, fun fmt kind -> Format.pp_print_string fmt (Minic.Exec.to_string kind))
 
+let engine_conv =
+  let parse s =
+    match Sctc.Engine.of_string s with
+    | Some engine -> Ok engine
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "expected one of %s"
+              (String.concat ", "
+                 (List.map Sctc.Engine.to_string Sctc.Engine.all))))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt engine -> Format.pp_print_string fmt (Sctc.Engine.to_string engine)
+    )
+
+let engine_arg =
+  let doc =
+    "Monitor synthesis engine: $(b,otf) (on-the-fly progression), \
+     $(b,explicit) (pre-synthesized AR-automaton), $(b,il) (automaton \
+     through the IL form, compiled guard tables), $(b,hybrid) \
+     (on-the-fly with hot residuals promoted to compiled tables), or \
+     $(b,auto) (explicit when synthesis is cheap, hybrid otherwise; the \
+     default). Verdicts are identical across engines"
+  in
+  Arg.(
+    value
+    & opt engine_conv Sctc.Engine.default
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let prop_conv =
   let parse s =
     match String.index_opt s '=' with

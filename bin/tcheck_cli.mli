@@ -19,6 +19,13 @@ type common = {
 val backend_conv : Minic.Exec.kind Cmdliner.Arg.conv
 (** [interp]/[vm]/[auto] ({!Minic.Exec.of_string}). *)
 
+val engine_conv : Sctc.Engine.t Cmdliner.Arg.conv
+(** [otf]/[explicit]/[il]/[hybrid]/[auto] ({!Sctc.Engine.of_string}). *)
+
+val engine_arg : Sctc.Engine.t Cmdliner.Term.t
+(** The [--engine] option over {!engine_conv}, defaulting to
+    {!Sctc.Engine.default} ([auto]). *)
+
 val prop_conv : (string * string) Cmdliner.Arg.conv
 (** [NAME=EXPR] proposition definitions ([--prop]). *)
 

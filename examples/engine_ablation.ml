@@ -1,8 +1,13 @@
-(* Ablation of SCTC's property-checking engines on one property:
+(* Ablation of SCTC's property-checking engines (Sctc.Engine.all) on one
+   property:
 
-   - on-the-fly formula progression (no synthesis cost, rewriting per step)
-   - explicit AR-automaton (synthesis cost up front, table lookups per step)
-   - explicit automaton round-tripped through the textual IL
+   - otf: on-the-fly formula progression (no synthesis cost, rewriting per
+     step through the transition cache)
+   - explicit: AR-automaton (synthesis cost up front, table lookups per step)
+   - il: explicit automaton round-tripped through the textual IL and
+     compiled to mask-indexed guard tables
+   - hybrid: starts on-the-fly, promotes hot residuals to compiled tables
+   - auto: explicit under the state budget, hybrid beyond (the default)
 
    The paper's TB-100000 column shows verification time dominated by
    AR-automaton generation for large time bounds; this example reproduces
@@ -45,11 +50,9 @@ let () =
           Printf.printf "%-7d %-12s %8.3f %8.3f   %s\n" bound engine_name
             synth run
             (Verdict.to_string verdict))
-        [
-          ("on-the-fly", Sctc.Checker.On_the_fly);
-          ("explicit", Sctc.Checker.Explicit);
-          ("via-IL", Sctc.Checker.Via_il);
-        ])
+        (List.map
+           (fun engine -> (Sctc.Engine.to_string engine, engine))
+           Sctc.Engine.all))
     [ 100; 2000; 20000 ];
 
   (* show the IL artifact for a small property *)

@@ -1,6 +1,6 @@
 module Registry = Obs.Registry
 
-type engine = On_the_fly | Explicit | Via_il
+type engine = Engine.t = Otf | Explicit | Il | Hybrid | Auto
 type syntax = Fltl | Psl | Auto
 
 type property = {
@@ -197,7 +197,15 @@ let compile_plan checker =
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 
-let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
+(* [Auto]'s failed explicit attempts, memoized per domain: campaign
+   sessions re-register the same properties over and over, and
+   [Ar_automaton.synthesize_memo] never caches failures, so without this
+   every registration of a too-large formula would re-pay the aborted
+   synthesis up to the state cap. Keyed by (formula hash, cap). *)
+let auto_failures_key : ((int * int, unit) Hashtbl.t Domain.DLS.key) =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let add_property ?(engine = Engine.Otf) ?max_states checker ~name formula =
   if
     Array.exists
       (fun p -> String.equal p.prop_name name)
@@ -208,7 +216,7 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
   (* explicit synthesis goes through the per-domain automaton cache;
      build time is charged to this checker only when the automaton was
      actually derived here, so a cache hit costs (and reports) nothing *)
-  let synthesized () =
+  let synthesized ?max_states () =
     let automaton, fresh = Ar_automaton.synthesize_memo ?max_states formula in
     if fresh then begin
       checker.synthesis_seconds <-
@@ -218,15 +226,35 @@ let add_property ?(engine = On_the_fly) ?max_states checker ~name formula =
     end;
     automaton
   in
+  let hybrid () =
+    Monitor.of_formula_hybrid ~name ~promote_after:Engine.promote_after
+      ~max_states:(Option.value max_states ~default:Engine.auto_max_states)
+      formula ~binding
+  in
   let monitor =
-    match engine with
-    | On_the_fly -> Monitor.of_formula ~name formula ~binding
-    | Explicit -> Monitor.of_automaton ~name (synthesized ()) ~binding
-    | Via_il ->
-      let il = Il.of_automaton ~name (synthesized ()) in
+    match (engine : Engine.t) with
+    | Otf -> Monitor.of_formula ~name formula ~binding
+    | Explicit -> Monitor.of_automaton ~name (synthesized ?max_states ()) ~binding
+    | Il ->
+      let il = Il.of_automaton ~name (synthesized ?max_states ()) in
       (* round-trip through the textual IL, as the SCTC flow does *)
       let il = Il.parse (Il.to_string il) in
       Monitor.of_il ~name il ~binding
+    | Hybrid -> hybrid ()
+    | Auto ->
+      (* explicit while synthesis stays under the state budget — the
+         fastest steady state — falling back to hybrid when it cannot *)
+      let cap = Option.value max_states ~default:Engine.auto_max_states in
+      let failures = Domain.DLS.get auto_failures_key in
+      let key = (Formula.hash formula, cap) in
+      if List.length (Formula.props formula) > 16 || Hashtbl.mem failures key
+      then hybrid ()
+      else (
+        match synthesized ~max_states:cap () with
+        | automaton -> Monitor.of_automaton ~name automaton ~binding
+        | exception Ar_automaton.Too_large _ ->
+          Hashtbl.replace failures key ();
+          hybrid ())
   in
   checker.properties <-
     Array.append checker.properties
@@ -371,6 +399,9 @@ let verdict checker name =
   | Some property -> Monitor.verdict property.monitor
   | None -> unknown_property checker "verdict" name
 
+let verdict_opt checker name =
+  Option.map (fun p -> Monitor.verdict p.monitor) (find_property checker name)
+
 let verdicts checker =
   Array.fold_right
     (fun p acc -> (p.prop_name, Monitor.verdict p.monitor) :: acc)
@@ -390,6 +421,11 @@ let first_final_at checker name =
   match find_property checker name with
   | Some property -> property.final_at
   | None -> unknown_property checker "first_final_at" name
+
+let first_final_at_opt checker name =
+  match find_property checker name with
+  | Some property -> property.final_at
+  | None -> None
 
 let reset checker =
   checker.step_count <- 0;

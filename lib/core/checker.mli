@@ -19,17 +19,20 @@
     per property.
 
     Properties can be given as {!Formula.t} values or as PSL / FLTL text;
-    the synthesis engine is selectable per property: on-the-fly progression,
-    an explicit pre-synthesized AR-automaton, or an automaton passed through
-    the IL representation (property → AR-automaton → IL → monitor, the full
-    paper pipeline). *)
+    the synthesis engine ({!Engine.t}) is selectable per property:
+    on-the-fly progression, an explicit pre-synthesized AR-automaton, the
+    automaton passed through the IL representation and compiled to
+    mask-indexed guard tables (property → AR-automaton → IL → monitor,
+    the full paper pipeline), a hybrid that promotes hot residuals from
+    progression to compiled tables, or [Auto], which picks explicit when
+    synthesis is cheap and hybrid otherwise. *)
 
 type t
 
-type engine =
-  | On_the_fly  (** formula progression, no synthesis cost *)
-  | Explicit  (** pre-synthesized AR-automaton *)
-  | Via_il  (** explicit automaton serialized to IL and re-parsed *)
+type engine = Engine.t = Otf | Explicit | Il | Hybrid | Auto
+(** Re-export of {!Engine.t} — the one engine enum shared by every front
+    end; see {!Engine} for the semantics of each constructor and the
+    string/CLI conversions. *)
 
 type syntax = Fltl | Psl | Auto
 
@@ -71,8 +74,15 @@ val proposition_names : t -> string list
 
 val add_property :
   ?engine:engine -> ?max_states:int -> t -> name:string -> Formula.t -> unit
-(** @raise Invalid_argument if a proposition in the formula's support is not
-    registered, if the property name is already used, or if explicit
+(** [engine] defaults to {!Engine.Otf} at this layer — registration stays
+    free of synthesis cost unless asked otherwise; the session/harness/CLI
+    front ends default to {!Engine.Auto} instead. Under [Auto],
+    [max_states] (default {!Engine.auto_max_states}) caps the explicit
+    attempt and a blowout falls back to {!Engine.Hybrid} rather than
+    raising; failed attempts are memoized per domain so campaigns don't
+    re-pay them.
+    @raise Invalid_argument if a proposition in the formula's support is not
+    registered, if the property name is already used, or if [Explicit]/[Il]
     synthesis exceeds [max_states] (see {!Ar_automaton.Too_large}). *)
 
 val add_property_text :
@@ -115,6 +125,9 @@ val verdict : t -> string -> Verdict.t
     @raise Invalid_argument for unknown names (the message lists the
     registered property names). *)
 
+val verdict_opt : t -> string -> Verdict.t option
+(** Non-raising {!verdict}; [None] for unknown names. *)
+
 val verdicts : t -> (string * Verdict.t) list
 
 val overall : t -> Verdict.t
@@ -128,6 +141,10 @@ val first_final_at : t -> string -> int option
     reached a final verdict, if it has.
     @raise Invalid_argument for unknown names (the message lists the
     registered property names). *)
+
+val first_final_at_opt : t -> string -> int option
+(** Non-raising {!first_final_at}; [None] for unknown names and for
+    properties that never reached a final verdict. *)
 
 val reset : t -> unit
 (** Reset all monitors and stateful propositions to their initial states. *)

@@ -34,9 +34,11 @@ let parse ?(syntax = `Auto) text =
             input = text }
   in
   match
+    (* the one sanctioned use of the deprecated per-syntax entry points:
+       this module IS their replacement *)
     match chosen with
-    | `Fltl -> Fltl_parser.parse text
-    | `Psl -> Psl.parse text
+    | `Fltl -> (Fltl_parser.parse [@alert "-deprecated"]) text
+    | `Psl -> (Psl.parse [@alert "-deprecated"]) text
   with
   | formula -> Ok formula
   | exception Fltl_parser.Parse_error (message, pos) -> structured message pos

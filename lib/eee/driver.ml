@@ -18,13 +18,14 @@ let default_config =
     test_cases = 200;
     watchdog_chunks = 200;
     bound = None;
-    engine = Checker.On_the_fly;
+    engine = Checker.Auto;
     seed = 7;
   }
 
 let max_id = 16 (* must match MAX_ID in the software *)
 
-let install_spec ?(bound = None) ?(engine = Checker.On_the_fly) session ops =
+let install_spec ?(bound = None) ?(engine : Checker.engine = Checker.Auto)
+    session ops =
   let checker = Session.checker session in
   let mbox = Session.mailbox session in
   List.iter

@@ -97,7 +97,7 @@ let default_plan =
     approaches = [ 2 ];
     cases_per_op = 50;
     bound = None;
-    engine = Sctc.Checker.On_the_fly;
+    engine = Sctc.Checker.Auto;
     fault_rate = 0.02;
     faults = Smc.Faults.none;
     watchdog_chunks = 200;

@@ -28,7 +28,7 @@ type config = {
 let default_config =
   {
     session_name = "session";
-    engine = Checker.On_the_fly;
+    engine = Checker.Auto;
     properties = [];
     propositions = [];
     bound = None;

@@ -299,7 +299,7 @@ let test_cegar_aborts_on_case_study () =
   (* the paper's observation: BLAST-style analysis of the state-driven
      EEPROM emulation with an inlined temporal monitor exhausts its
      resources and aborts with an exception *)
-  let property = Fltl_parser.parse "G (p_called -> F[50] p_done)" in
+  let property = Sctc.Prop.parse_exn ~syntax:`Fltl "G (p_called -> F[50] p_done)" in
   let instrumented =
     Spec_inline.instrument ~property
       ~predicates:

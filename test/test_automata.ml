@@ -106,7 +106,7 @@ let run_progression formula triples =
 
 let check_verdict = Alcotest.check (Alcotest.testable Verdict.pp Verdict.equal)
 
-let parse = Fltl_parser.parse
+let parse text = Sctc.Prop.parse_exn ~syntax:`Fltl text
 
 (* --- directed progression tests ---------------------------------------- *)
 

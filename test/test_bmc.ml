@@ -434,7 +434,7 @@ let spec_program sets_ack =
 
 let instrumented sets_ack =
   Spec_inline.instrument
-    ~property:(Fltl_parser.parse "G (p_req -> F[10] p_ack)")
+    ~property:(Sctc.Prop.parse_exn ~syntax:`Fltl "G (p_req -> F[10] p_ack)")
     ~predicates:[ ("p_req", "req == 1"); ("p_ack", "ack == 1") ]
     (info_of (spec_program sets_ack))
 

@@ -1,0 +1,379 @@
+(* The compiled IL guard tables and the hybrid engine.
+
+   - differential qcheck: [Il.Table] lookups (dense/sparse compiled form)
+     agree with the list-scan [Il.next] oracle on every (state, mask) of
+     automata synthesized from random formulas, through the textual IL
+     round-trip, and [Il.Table.of_automaton] agrees with the raw
+     [Ar_automaton.next] delta
+   - the missing-guard diagnostic names the automaton and spells the
+     valuation as a proposition assignment, on both the oracle and the
+     compiled path
+   - hybrid promotion units: promotion fires exactly at the threshold, a
+     [Too_large] state budget keeps the monitor on-the-fly with verdicts
+     identical to pure progression, and [reset] demotes cleanly
+   - [Engine] string round-trips and the checker's [Auto] fallback *)
+
+module Checker = Sctc.Checker
+module Engine = Sctc.Engine
+module F = Formula
+
+let check_verdict = Alcotest.check (Alcotest.testable Verdict.pp Verdict.equal)
+
+(* --- random formulas over a/b/c (same shape as test_trigger_plan) ------ *)
+
+let gen_formula =
+  let open QCheck.Gen in
+  let prop_name = oneofl [ "a"; "b"; "c" ] in
+  let bound = oneof [ return None; map (fun n -> Some n) (int_bound 3) ] in
+  sized_size (int_bound 12)
+  @@ QCheck.Gen.fix (fun self n ->
+         if n = 0 then oneof [ return F.tru; return F.fls; map F.prop prop_name ]
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               map F.prop prop_name;
+               map F.not_ sub;
+               map2 F.and_ sub sub;
+               map2 F.or_ sub sub;
+               map F.next sub;
+               map2 F.finally bound sub;
+               map2 F.globally bound sub;
+               map3 F.until bound sub sub;
+               map3 F.release bound sub sub;
+             ])
+
+let gen_script =
+  QCheck.Gen.(list_size (int_range 1 40) (triple bool bool bool))
+
+(* --- IL table vs list-scan oracle -------------------------------------- *)
+
+(* keep the synthesized automata small: the oracle comparison is per
+   (state, mask), and [Il.of_automaton] pays a cube-minimization per
+   state, so big automata only add runtime, not coverage *)
+let automaton_of formula =
+  match Ar_automaton.synthesize ~max_states:400 formula with
+  | automaton -> automaton
+  | exception Ar_automaton.Too_large _ -> QCheck.assume_fail ()
+
+let arbitrary_formula =
+  QCheck.make ~print:F.to_string gen_formula
+
+let qcheck_table_vs_scan =
+  QCheck.Test.make ~name:"Il.Table.next == Il.next over the IL round-trip"
+    ~count:100 arbitrary_formula (fun formula ->
+      let automaton = automaton_of formula in
+      let il = Il.of_automaton ~name:"t" automaton in
+      (* through the textual form, as the Via-IL engine loads it *)
+      let il = Il.parse (Il.to_string il) in
+      let table = Il.compile il in
+      let width = Array.length il.Il.props in
+      let states = Array.length il.Il.states in
+      Alcotest.(check int) "state count" states (Il.Table.num_states table);
+      for state = 0 to states - 1 do
+        for mask = 0 to (1 lsl width) - 1 do
+          (* twice: the second lookup exercises any lazily-filled cache *)
+          if
+            Il.Table.next table state mask <> Il.next il state mask
+            || Il.Table.next table state mask <> Il.next il state mask
+          then
+            Alcotest.failf "divergence at state %d mask %d of %s" state mask
+              (F.to_string formula)
+        done
+      done;
+      true)
+
+let qcheck_table_of_automaton =
+  QCheck.Test.make ~name:"Il.Table.of_automaton == Ar_automaton.next"
+    ~count:100 arbitrary_formula (fun formula ->
+      let automaton = automaton_of formula in
+      let table = Il.Table.of_automaton ~name:"t" automaton in
+      let width = Ar_automaton.num_props automaton in
+      for state = 0 to Ar_automaton.num_states automaton - 1 do
+        for mask = 0 to (1 lsl width) - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "state %d mask %d" state mask)
+            (Ar_automaton.next automaton state mask)
+            (Il.Table.next table state mask)
+        done
+      done;
+      true)
+
+let qcheck_il_roundtrip =
+  QCheck.Test.make ~name:"IL pp/parse round trip preserves next" ~count:100
+    arbitrary_formula (fun formula ->
+      let automaton = automaton_of formula in
+      let il = Il.of_automaton ~name:"rt" automaton in
+      let il' = Il.parse (Il.to_string il) in
+      Alcotest.(check string) "name" il.Il.name il'.Il.name;
+      Alcotest.(check int) "initial" il.Il.initial il'.Il.initial;
+      let width = Array.length il.Il.props in
+      for state = 0 to Array.length il.Il.states - 1 do
+        for mask = 0 to (1 lsl width) - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "state %d mask %d" state mask)
+            (Il.next il state mask) (Il.next il' state mask)
+        done
+      done;
+      true)
+
+(* a pending state whose guards do not cover mask 0 (a=0 b=0): the
+   diagnostic must name the automaton and spell the valuation out *)
+let missing_guard_il =
+  Il.parse
+    "automaton gap {\n\
+    \  props: a, b;\n\
+    \  initial: 0;\n\
+    \  state 0 pending {\n\
+    \    on 1- -> 1;\n\
+    \  }\n\
+    \  state 1 accept {\n\
+    \  }\n\
+     }"
+
+let test_missing_guard_message () =
+  let expect_message next =
+    match next () with
+    | (_ : int) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument msg ->
+      let contains needle =
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg needle)
+          true
+          (let len = String.length needle in
+           let rec probe i =
+             i + len <= String.length msg
+             && (String.sub msg i len = needle || probe (i + 1))
+           in
+           probe 0)
+      in
+      contains "gap";
+      contains "a=0";
+      contains "b=1";
+      contains "mask 2"
+  in
+  (* mask 2 = a false, b true; only cubes with a=1 are covered *)
+  expect_message (fun () -> Il.next missing_guard_il 0 2);
+  expect_message (fun () -> Il.Table.next (Il.compile missing_guard_il) 0 2)
+
+(* --- hybrid promotion --------------------------------------------------- *)
+
+let binding_of current name () =
+  match name with
+  | "a" -> let a, _, _ = !current in a
+  | "b" -> let _, b, _ = !current in b
+  | "c" -> let _, _, c = !current in c
+  | _ -> invalid_arg ("unexpected proposition " ^ name)
+
+let test_promotion_at_threshold () =
+  let current = ref (true, false, false) in
+  let formula = Sctc.Prop.parse_exn ~syntax:`Fltl "G (a -> F[3] b)" in
+  let monitor =
+    Monitor.of_formula_hybrid ~name:"p" ~promote_after:4 formula
+      ~binding:(binding_of current)
+  in
+  (* stays on-the-fly strictly below the threshold... *)
+  current := (false, false, false);
+  for _ = 1 to 3 do
+    ignore (Monitor.step monitor)
+  done;
+  Alcotest.(check bool) "not yet promoted" false (Monitor.promoted monitor);
+  (* ...and promotes exactly when one residual absorbs its 4th step *)
+  ignore (Monitor.step monitor);
+  Alcotest.(check bool) "promoted at threshold" true (Monitor.promoted monitor);
+  check_verdict "still pending" Verdict.Pending (Monitor.verdict monitor);
+  (* the promoted table keeps computing real verdicts *)
+  current := (true, false, false);
+  ignore (Monitor.step monitor);
+  for _ = 1 to 4 do
+    ignore (Monitor.step monitor)
+  done;
+  check_verdict "violation detected after promotion" Verdict.False
+    (Monitor.verdict monitor)
+
+let test_too_large_fallback_identical () =
+  let current = ref (false, false, false) in
+  let formula = Sctc.Prop.parse_exn ~syntax:`Fltl "G (a -> F[200] b)" in
+  (* max_states 4 cannot hold the ~200-state countdown: promotion must
+     fail and the monitor must stay on-the-fly with identical verdicts *)
+  let hybrid =
+    Monitor.of_formula_hybrid ~name:"h" ~promote_after:2 ~max_states:4 formula
+      ~binding:(binding_of current)
+  in
+  let otf =
+    Monitor.of_formula ~name:"o" formula ~binding:(binding_of current)
+  in
+  let script =
+    [ (false, false, false); (true, false, false); (false, false, false);
+      (false, true, false); (true, false, false); (false, false, false);
+      (false, false, false); (false, true, false) ]
+  in
+  List.iteri
+    (fun i triple ->
+      current := triple;
+      let hv = Monitor.step hybrid in
+      let ov = Monitor.step otf in
+      check_verdict (Printf.sprintf "step %d" i) ov hv)
+    script;
+  Alcotest.(check bool) "never promoted" false (Monitor.promoted hybrid);
+  check_verdict "finalize agrees" (Monitor.finalize otf)
+    (Monitor.finalize hybrid)
+
+let test_reset_demotes () =
+  let current = ref (false, false, false) in
+  let formula = Sctc.Prop.parse_exn ~syntax:`Fltl "G (a -> F[3] b)" in
+  let monitor =
+    Monitor.of_formula_hybrid ~name:"p" ~promote_after:2 formula
+      ~binding:(binding_of current)
+  in
+  for _ = 1 to 2 do
+    ignore (Monitor.step monitor)
+  done;
+  Alcotest.(check bool) "promoted" true (Monitor.promoted monitor);
+  Monitor.reset monitor;
+  Alcotest.(check bool) "demoted by reset" false (Monitor.promoted monitor);
+  Alcotest.(check int) "step count cleared" 0 (Monitor.steps monitor);
+  check_verdict "verdict back to initial" Verdict.Pending
+    (Monitor.verdict monitor);
+  (* a fresh run re-earns the promotion *)
+  for _ = 1 to 2 do
+    ignore (Monitor.step monitor)
+  done;
+  Alcotest.(check bool) "re-promoted" true (Monitor.promoted monitor)
+
+let arbitrary_hybrid_case =
+  QCheck.make
+    ~print:(fun (formula, script) ->
+      Printf.sprintf "%s over %d steps" (F.to_string formula)
+        (List.length script))
+    QCheck.Gen.(pair gen_formula gen_script)
+
+(* promote aggressively (threshold 2, small budget) so random runs mix
+   promoted and fallback paths, and compare against pure progression *)
+let qcheck_hybrid_vs_progression =
+  QCheck.Test.make ~name:"hybrid == progression, per step" ~count:100
+    arbitrary_hybrid_case (fun (formula, script) ->
+      let current = ref (false, false, false) in
+      let hybrid =
+        Monitor.of_formula_hybrid ~name:"h" ~promote_after:2 ~max_states:64
+          formula ~binding:(binding_of current)
+      in
+      let reference = ref formula in
+      List.iter
+        (fun ((a, b, c) as triple) ->
+          current := triple;
+          let hv = Monitor.step hybrid in
+          if not (Verdict.is_final (Progression.verdict !reference)) then
+            reference :=
+              Progression.step !reference (function
+                | "a" -> a
+                | "b" -> b
+                | "c" -> c
+                | name -> invalid_arg name);
+          let rv = Progression.verdict !reference in
+          if not (Verdict.equal hv rv) then
+            Alcotest.failf "diverged on %s: %s vs %s" (F.to_string formula)
+              (Verdict.to_string hv) (Verdict.to_string rv))
+        script;
+      Verdict.equal (Monitor.finalize hybrid)
+        (Progression.finalize !reference))
+
+(* --- the engine enum and the checker's Auto fallback -------------------- *)
+
+let test_engine_strings () =
+  List.iter
+    (fun engine ->
+      Alcotest.(check bool)
+        (Engine.to_string engine ^ " round-trips")
+        true
+        (Engine.of_string (Engine.to_string engine) = Some engine))
+    Engine.all;
+  Alcotest.(check bool) "on-the-fly alias" true
+    (Engine.of_string "on-the-fly" = Some Engine.Otf);
+  Alcotest.(check bool) "case-insensitive" true
+    (Engine.of_string "AUTO" = Some Engine.Auto);
+  Alcotest.(check bool) "unknown rejected" true
+    (Engine.of_string "warp" = None);
+  match Engine.of_string_exn "warp" with
+  | (_ : Engine.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message lists the engines" true
+      (String.length msg > String.length "warp")
+
+let test_checker_auto_falls_back () =
+  let value = ref 0 in
+  let checker = Checker.create ~name:"auto" () in
+  Checker.register_sampler checker "req" (fun () -> !value mod 17 = 1);
+  Checker.register_sampler checker "ack" (fun () -> !value mod 17 = 5);
+  (* a state budget far below the bound: Auto must fall back to hybrid
+     instead of raising Too_large, and still verify correctly *)
+  Checker.add_property_text ~engine:Checker.Auto ~max_states:4 checker
+    ~name:"p" "G (req -> F[500] ack)";
+  let reference = Checker.create ~name:"otf" () in
+  Checker.register_sampler reference "req" (fun () -> !value mod 17 = 1);
+  Checker.register_sampler reference "ack" (fun () -> !value mod 17 = 5);
+  Checker.add_property_text ~engine:Checker.Otf reference ~name:"p"
+    "G (req -> F[500] ack)";
+  for _ = 1 to 300 do
+    incr value;
+    Checker.step checker;
+    Checker.step reference;
+    check_verdict "auto == otf"
+      (Checker.verdict reference "p")
+      (Checker.verdict checker "p")
+  done
+
+let test_checker_opt_accessors () =
+  let checker = Checker.create ~name:"opt" () in
+  Checker.register_sampler checker "a" (fun () -> true);
+  Checker.add_property_text checker ~name:"p" "F a";
+  Alcotest.(check bool) "verdict_opt known" true
+    (Checker.verdict_opt checker "p" <> None);
+  Alcotest.(check bool) "verdict_opt unknown" true
+    (Checker.verdict_opt checker "nope" = None);
+  Alcotest.(check (option int)) "first_final_at_opt unknown" None
+    (Checker.first_final_at_opt checker "nope");
+  Checker.step checker;
+  Alcotest.(check (option int)) "first_final_at_opt known" (Some 1)
+    (Checker.first_final_at_opt checker "p");
+  (* the raising twins keep raising, with the property list in the message *)
+  (match Checker.verdict checker "nope" with
+  | (_ : Verdict.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Checker.first_final_at checker "nope" with
+  | (_ : int option) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let qcheck cases = List.map (QCheck_alcotest.to_alcotest ~verbose:false) cases
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "il-table",
+        [
+          Alcotest.test_case "missing-guard diagnostic" `Quick
+            test_missing_guard_message;
+        ]
+        @ qcheck
+            [
+              qcheck_table_vs_scan; qcheck_table_of_automaton;
+              qcheck_il_roundtrip;
+            ] );
+      ( "promotion",
+        [
+          Alcotest.test_case "fires at threshold" `Quick
+            test_promotion_at_threshold;
+          Alcotest.test_case "Too_large fallback identical" `Quick
+            test_too_large_fallback_identical;
+          Alcotest.test_case "reset demotes" `Quick test_reset_demotes;
+        ]
+        @ qcheck [ qcheck_hybrid_vs_progression ] );
+      ( "engine-api",
+        [
+          Alcotest.test_case "string round-trips" `Quick test_engine_strings;
+          Alcotest.test_case "checker Auto falls back" `Quick
+            test_checker_auto_falls_back;
+          Alcotest.test_case "_opt accessors" `Quick
+            test_checker_opt_accessors;
+        ] );
+    ]

@@ -3,6 +3,11 @@
 
 module F = Formula
 
+(* parse through the unified front door ([Sctc.Prop]); the per-syntax
+   entry points carry a deprecation alert and are reserved to it *)
+let parse_fltl text = Sctc.Prop.parse_exn ~syntax:`Fltl text
+let parse_psl text = Sctc.Prop.parse_exn ~syntax:`Psl text
+
 let formula_testable =
   Alcotest.testable (fun fmt f -> Format.pp_print_string fmt (F.to_string f))
     F.equal
@@ -49,30 +54,30 @@ let test_negative_bound_rejected () =
 (* --- observers --------------------------------------------------------- *)
 
 let test_props_collection () =
-  let f = Fltl_parser.parse "G (a -> F[5] (b | c)) & X a" in
+  let f = parse_fltl "G (a -> F[5] (b | c)) & X a" in
   Alcotest.(check (list string)) "props sorted" [ "a"; "b"; "c" ] (F.props f)
 
 let test_max_bound () =
-  let f = Fltl_parser.parse "F[10] a & G[3] (b U[7] c)" in
+  let f = parse_fltl "F[10] a & G[3] (b U[7] c)" in
   Alcotest.(check (option int)) "max bound" (Some 10) (F.max_bound f);
   Alcotest.(check (option int)) "no bound" None
-    (F.max_bound (Fltl_parser.parse "G (a -> F b)"))
+    (F.max_bound (parse_fltl "G (a -> F b)"))
 
 let test_is_propositional () =
   Alcotest.(check bool) "propositional" true
-    (F.is_propositional (Fltl_parser.parse "a & !b | c"));
+    (F.is_propositional (parse_fltl "a & !b | c"));
   Alcotest.(check bool) "temporal" false
-    (F.is_propositional (Fltl_parser.parse "a & X b"))
+    (F.is_propositional (parse_fltl "a & X b"))
 
 let test_eval_now () =
-  let f = Fltl_parser.parse "a & (!b | c)" in
+  let f = parse_fltl "a & (!b | c)" in
   let valuation = function "a" -> true | "b" -> true | "c" -> true | _ -> false in
   Alcotest.(check bool) "evaluates" true (F.eval_now f valuation);
   let valuation2 = function "a" -> true | _ -> false in
   Alcotest.(check bool) "evaluates 2" true (F.eval_now f valuation2);
   Alcotest.check_raises "temporal rejected"
     (Invalid_argument "Formula.eval_now: temporal operator") (fun () ->
-      ignore (F.eval_now (Fltl_parser.parse "X a") valuation))
+      ignore (F.eval_now (parse_fltl "X a") valuation))
 
 (* --- NNF ---------------------------------------------------------------- *)
 
@@ -86,7 +91,7 @@ let rec nnf_ok f =
   | F.Until (_, a, b) | F.Release (_, a, b) -> nnf_ok a && nnf_ok b
 
 let test_nnf_shape () =
-  let f = Fltl_parser.parse "!(G (a -> F[2] b) & (c U d))" in
+  let f = parse_fltl "!(G (a -> F[2] b) & (c U d))" in
   let normalized = F.nnf f in
   Alcotest.(check bool) "negation only on props" true (nnf_ok normalized)
 
@@ -103,7 +108,7 @@ let test_nnf_duality () =
 let test_parse_paper_property () =
   (* the paper's sample property shape (A) *)
   let f =
-    Fltl_parser.parse "F (Read -> F[1000] (EEE_OK | EEE_BUSY | EEE_ERROR))"
+    parse_fltl "F (Read -> F[1000] (EEE_OK | EEE_BUSY | EEE_ERROR))"
   in
   Alcotest.(check (list string))
     "props" [ "EEE_BUSY"; "EEE_ERROR"; "EEE_OK"; "Read" ] (F.props f);
@@ -111,7 +116,7 @@ let test_parse_paper_property () =
 
 let test_parse_precedence () =
   (* -> binds weaker than |, which binds weaker than & *)
-  let f = Fltl_parser.parse "a -> b | c & d" in
+  let f = parse_fltl "a -> b | c & d" in
   let expected =
     F.implies (F.prop "a")
       (F.or_ (F.prop "b") (F.and_ (F.prop "c") (F.prop "d")))
@@ -121,25 +126,25 @@ let test_parse_precedence () =
 let test_parse_right_assoc_implies () =
   check_formula "right assoc"
     (F.implies (F.prop "a") (F.implies (F.prop "b") (F.prop "c")))
-    (Fltl_parser.parse "a -> b -> c")
+    (parse_fltl "a -> b -> c")
 
 let test_parse_until_bound () =
   check_formula "bounded until"
     (F.until (Some 5) (F.prop "a") (F.prop "b"))
-    (Fltl_parser.parse "a U[5] b")
+    (parse_fltl "a U[5] b")
 
 let test_parse_symbols_and_words () =
-  check_formula "&& and and agree" (Fltl_parser.parse "a && b")
-    (Fltl_parser.parse "a and b");
-  check_formula "|| and or agree" (Fltl_parser.parse "a || b")
-    (Fltl_parser.parse "a or b");
-  check_formula "! and not agree" (Fltl_parser.parse "!a")
-    (Fltl_parser.parse "not a")
+  check_formula "&& and and agree" (parse_fltl "a && b")
+    (parse_fltl "a and b");
+  check_formula "|| and or agree" (parse_fltl "a || b")
+    (parse_fltl "a or b");
+  check_formula "! and not agree" (parse_fltl "!a")
+    (parse_fltl "not a")
 
 let test_parse_comments () =
   check_formula "comments skipped"
-    (Fltl_parser.parse "G (a -> F b)")
-    (Fltl_parser.parse "G (/* block */ a -> // line\n F b)")
+    (parse_fltl "G (a -> F b)")
+    (parse_fltl "G (/* block */ a -> // line\n F b)")
 
 let test_parse_errors () =
   (match Fltl_parser.parse_result "G (a -> " with
@@ -183,7 +188,7 @@ let arbitrary_formula =
 
 let qcheck_print_parse_roundtrip =
   QCheck.Test.make ~name:"print/parse round trip" ~count:500 arbitrary_formula
-    (fun f -> F.equal (Fltl_parser.parse (F.to_string f)) f)
+    (fun f -> F.equal (parse_fltl (F.to_string f)) f)
 
 let qcheck_nnf_is_nnf =
   QCheck.Test.make ~name:"nnf has negation only on props" ~count:500
@@ -192,27 +197,27 @@ let qcheck_nnf_is_nnf =
 (* --- PSL ----------------------------------------------------------------- *)
 
 let test_psl_mappings () =
-  check_formula "always" (Fltl_parser.parse "G p") (Psl.parse "always p");
-  check_formula "never" (Fltl_parser.parse "G !p") (Psl.parse "never p");
-  check_formula "eventually!" (Fltl_parser.parse "F p")
-    (Psl.parse "eventually! p");
-  check_formula "next" (Fltl_parser.parse "X p") (Psl.parse "next p");
-  check_formula "next[3]" (Fltl_parser.parse "X X X p")
-    (Psl.parse "next[3] p");
-  check_formula "until!" (Fltl_parser.parse "p U q") (Psl.parse "p until! q");
+  check_formula "always" (parse_fltl "G p") (parse_psl "always p");
+  check_formula "never" (parse_fltl "G !p") (parse_psl "never p");
+  check_formula "eventually!" (parse_fltl "F p")
+    (parse_psl "eventually! p");
+  check_formula "next" (parse_fltl "X p") (parse_psl "next p");
+  check_formula "next[3]" (parse_fltl "X X X p")
+    (parse_psl "next[3] p");
+  check_formula "until!" (parse_fltl "p U q") (parse_psl "p until! q");
   check_formula "weak until" (F.release None (F.prop "q")
     (F.or_ (F.prop "p") (F.prop "q")))
-    (Psl.parse "p until q");
-  check_formula "release" (Fltl_parser.parse "p R q")
-    (Psl.parse "p release q");
+    (parse_psl "p until q");
+  check_formula "release" (parse_fltl "p R q")
+    (parse_psl "p release q");
   check_formula "boolean words"
-    (Fltl_parser.parse "(a & !b) -> c")
-    (Psl.parse "a and not b implies c")
+    (parse_fltl "(a & !b) -> c")
+    (parse_psl "a and not b implies c")
 
 let test_psl_nested () =
   check_formula "nested psl"
-    (Fltl_parser.parse "G (req -> F ack)")
-    (Psl.parse "always (req implies eventually! ack)")
+    (parse_fltl "G (req -> F ack)")
+    (parse_psl "always (req implies eventually! ack)")
 
 (* --- propositions -------------------------------------------------------- *)
 

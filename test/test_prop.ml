@@ -2,7 +2,12 @@
    its contract: exact equivalence with the legacy per-syntax parsers
    (including every EEE case-study property), the auto-detection rule
    (PSL keywords flip, until/release do not), the structured error
-   shape, and the checker's [Auto] text path. *)
+   shape, and the checker's [Auto] text path.
+
+   The legacy-equivalence tests below are the one place outside
+   [Sctc.Prop] that may still call the deprecated [Fltl_parser.parse] /
+   [Psl.parse] — they exist to compare against them. *)
+[@@@alert "-deprecated"]
 
 module Prop = Sctc.Prop
 

@@ -69,15 +69,15 @@ let test_checker_engines_agree () =
         Checker.verdict checker "resp")
       script
   in
-  let otf = run Checker.On_the_fly in
-  let explicit = run Checker.Explicit in
-  let via_il = run Checker.Via_il in
-  List.iteri
-    (fun i (v1, v2) -> check_verdict (Printf.sprintf "explicit step %d" i) v1 v2)
-    (List.combine otf explicit);
-  List.iteri
-    (fun i (v1, v2) -> check_verdict (Printf.sprintf "il step %d" i) v1 v2)
-    (List.combine otf via_il)
+  let otf = run Checker.Otf in
+  List.iter
+    (fun engine ->
+      let label = Sctc.Engine.to_string engine in
+      List.iteri
+        (fun i (v1, v2) ->
+          check_verdict (Printf.sprintf "%s step %d" label i) v1 v2)
+        (List.combine otf (run engine)))
+    (List.filter (fun e -> e <> Sctc.Engine.Otf) Sctc.Engine.all)
 
 let test_checker_unknown_prop_rejected () =
   let checker = Checker.create ~name:"t" () in
